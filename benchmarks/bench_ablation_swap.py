@@ -1,0 +1,67 @@
+"""Ablation: mlock and the swap disclosure surface.
+
+§4 disables swapping of key memory "because memory that is swapped out
+is not immediately cleared", and notes it "helps prevent swap space
+based attacks" (Provos).  This bench drives heavy reclaim against an
+unprotected and an aligned (mlocked) server and searches both the swap
+device image and RAM.
+"""
+
+from repro.analysis.report import render_table
+from repro.attacks.swap_attack import SwapDiskAttack
+from repro.core.protection import ProtectionLevel
+from repro.core.simulation import Simulation, SimulationConfig
+
+
+def evaluate(level, seed=29):
+    sim = Simulation(
+        SimulationConfig(server="openssh", level=level, seed=seed,
+                         key_bits=1024, memory_mb=16)
+    )
+    sim.start_server()
+    sim.hold_connections(10)
+    attack = SwapDiskAttack(sim.kernel, sim.patterns)
+    evicted = attack.apply_memory_pressure(2000)
+    disk = attack.run()
+    ram = sim.scan()
+    return {
+        "pages evicted": evicted,
+        "key copies on swap device": disk.total_copies,
+        "swap attack wins": int(disk.success),
+        "copies in RAM": ram.total,
+    }
+
+
+def run_all():
+    return {
+        "baseline": evaluate(ProtectionLevel.NONE),
+        "aligned+mlocked (library)": evaluate(ProtectionLevel.LIBRARY),
+        "integrated": evaluate(ProtectionLevel.INTEGRATED),
+    }
+
+
+def test_ablation_swap(benchmark, record_figure):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        [name, r["pages evicted"], r["key copies on swap device"],
+         r["swap attack wins"], r["copies in RAM"]]
+        for name, r in results.items()
+    ]
+    text = render_table(
+        ["deployment", "pages evicted", "key copies on swap",
+         "swap attack wins", "copies in RAM"],
+        rows,
+    )
+    record_figure("ablation_swap", text)
+
+    base = results["baseline"]
+    lib = results["aligned+mlocked (library)"]
+    integrated = results["integrated"]
+
+    assert base["pages evicted"] > 0
+    assert base["swap attack wins"] == 1
+    # mlock keeps the single key page out of swap entirely.
+    assert lib["swap attack wins"] == 0
+    assert integrated["swap attack wins"] == 0
+    assert lib["pages evicted"] > 0  # other memory still swaps fine

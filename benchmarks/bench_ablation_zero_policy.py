@@ -1,0 +1,97 @@
+"""Ablation: which kernel patch does the work?
+
+The paper's kernel-level solution has two patch points: clearing pages
+in the free path (``page_alloc.c``) and clearing last-reference pages
+at unmap time (``memory.c``).  This bench separates them:
+
+* unmap-clear only — covers process exit, but kernel buffers and page
+  cache frees stay dirty;
+* free-clear only — covers everything that reaches a free list;
+* both (the paper's patch set).
+"""
+
+from repro.attacks.ext2_dirleak import Ext2DirLeakAttack
+from repro.attacks.keysearch import KeyPatternSet
+from repro.analysis.report import render_table
+from repro.core.simulation import SimulationConfig, Simulation
+from repro.kernel.kernel import Kernel, KernelConfig
+
+
+def run_variant(zero_on_free, zero_on_unmap, seed=11):
+    """Plant key-like residue via a dying process + a page-cache file,
+    then measure what the ext2 leak can still disclose."""
+    config = KernelConfig(
+        version=(2, 6, 10),
+        memory_mb=8,
+        zero_on_free=zero_on_free,
+        zero_on_unmap=zero_on_unmap,
+    )
+    kern = Kernel(config)
+    from repro.kernel.fs import SimFileSystem
+
+    root = SimFileSystem("ext2", label="root")
+    root.create_file("doc.txt", b"CACHED-SECRET-PATTERN" * 100)
+    kern.vfs.mount("/", root)
+
+    # Stand up both residue sources while everything is still live,
+    # then release them — nothing else allocates before the attack, so
+    # what the attack finds is decided purely by the patch policy.
+    proc = kern.create_process("victim")
+    addr = proc.heap.malloc(4096)
+    proc.mm.write(addr, b"PROCESS-SECRET-PATTERN" * 100)
+
+    reader = kern.create_process("reader")
+    fd = kern.vfs.open(reader, "/doc.txt")
+    kern.vfs.read_all(reader, fd)
+    kern.vfs.close(reader, fd)
+
+    kern.exit_process(proc)
+    kern.pagecache.invalidate(kern.vfs.lookup("/doc.txt").file_id)
+
+    patterns = KeyPatternSet(
+        {
+            "d": b"PROCESS-SECRET-PATTERN",
+            "p": b"CACHED-SECRET-PATTERN",
+            "q": b"\x01" * 64,
+            "pem": b"\x02" * 64,
+        }
+    )
+    attack = Ext2DirLeakAttack(kern, patterns)
+    result = attack.run(1500)
+    return {
+        "process residue leaked": result.counts["d"],
+        "pagecache residue leaked": result.counts["p"],
+    }
+
+
+def run_all():
+    return {
+        "no patch": run_variant(False, False),
+        "unmap-clear only": run_variant(False, True),
+        "free-clear only": run_variant(True, False),
+        "both (paper)": run_variant(True, True),
+    }
+
+
+def test_ablation_zero_policy(benchmark, record_figure):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        [name, counts["process residue leaked"], counts["pagecache residue leaked"]]
+        for name, counts in results.items()
+    ]
+    text = render_table(
+        ["variant", "process residue leaked", "pagecache residue leaked"], rows
+    )
+    record_figure("ablation_zero_policy", text)
+
+    assert results["no patch"]["process residue leaked"] > 0
+    assert results["no patch"]["pagecache residue leaked"] > 0
+    # unmap-clear alone protects exited processes but not cache frees.
+    assert results["unmap-clear only"]["process residue leaked"] == 0
+    assert results["unmap-clear only"]["pagecache residue leaked"] > 0
+    # free-clear alone covers both (everything reaches a free list).
+    assert results["free-clear only"]["process residue leaked"] == 0
+    assert results["free-clear only"]["pagecache residue leaked"] == 0
+    assert results["both (paper)"]["process residue leaked"] == 0
+    assert results["both (paper)"]["pagecache residue leaked"] == 0

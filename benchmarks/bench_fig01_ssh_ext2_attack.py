@@ -1,0 +1,50 @@
+"""Figure 1: the ext2 directory-leak attack against OpenSSH.
+
+(a) average number of private-key copies found on the USB device and
+(b) attack success rate, as functions of (total connections, total
+directories).  Paper: success ~always; copies grow with both axes;
+the attack takes under a minute.
+"""
+
+from repro.analysis.experiments import ext2_attack_sweep
+from repro.analysis.report import render_surface
+from repro.core.protection import ProtectionLevel
+
+
+def run_sweep(scale):
+    return ext2_attack_sweep(
+        "openssh",
+        connections=scale.ext2_connections,
+        directories=scale.ext2_directories,
+        repetitions=scale.ext2_repetitions,
+        level=ProtectionLevel.NONE,
+        key_bits=scale.key_bits,
+        memory_mb=scale.memory_mb,
+    )
+
+
+def test_fig01_ssh_ext2_attack(benchmark, scale, record_figure):
+    result = benchmark.pedantic(run_sweep, args=(scale,), rounds=1, iterations=1)
+
+    text = render_surface(
+        "Figure 1(a): avg # of OpenSSH private-key copies found per run",
+        "conns", "dirs", result.copies_surface(),
+    )
+    text += "\n\n" + render_surface(
+        "Figure 1(b): OpenSSH attack success rate",
+        "conns", "dirs", result.success_surface(),
+    )
+    elapsed = [cell.avg_elapsed_s for cell in result.cells.values()]
+    text += f"\n\nattack latency: max {max(elapsed):.1f}s (paper: < 1 minute)"
+    record_figure("fig01_ssh_ext2_attack", text)
+
+    # Shape assertions against the paper.
+    biggest = result.cells[
+        (max(scale.ext2_connections), max(scale.ext2_directories))
+    ]
+    smallest = result.cells[
+        (min(scale.ext2_connections), min(scale.ext2_directories))
+    ]
+    assert biggest.success_rate == 1.0
+    assert biggest.avg_copies >= smallest.avg_copies
+    assert max(elapsed) < 60

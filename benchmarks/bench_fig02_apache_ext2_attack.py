@@ -1,0 +1,44 @@
+"""Figure 2: the ext2 directory-leak attack against Apache.
+
+Same sweep as Figure 1 for the prefork HTTPS server.  Paper: attack
+almost always succeeds, takes under five minutes.
+"""
+
+from repro.analysis.experiments import ext2_attack_sweep
+from repro.analysis.report import render_surface
+from repro.core.protection import ProtectionLevel
+
+
+def run_sweep(scale):
+    return ext2_attack_sweep(
+        "apache",
+        connections=scale.ext2_connections,
+        directories=scale.ext2_directories,
+        repetitions=scale.ext2_repetitions,
+        level=ProtectionLevel.NONE,
+        key_bits=scale.key_bits,
+        memory_mb=scale.memory_mb,
+    )
+
+
+def test_fig02_apache_ext2_attack(benchmark, scale, record_figure):
+    result = benchmark.pedantic(run_sweep, args=(scale,), rounds=1, iterations=1)
+
+    text = render_surface(
+        "Figure 2(a): avg # of Apache private-key copies found per run",
+        "conns", "dirs", result.copies_surface(),
+    )
+    text += "\n\n" + render_surface(
+        "Figure 2(b): Apache attack success rate",
+        "conns", "dirs", result.success_surface(),
+    )
+    elapsed = [cell.avg_elapsed_s for cell in result.cells.values()]
+    text += f"\n\nattack latency: max {max(elapsed):.1f}s (paper: < 5 minutes)"
+    record_figure("fig02_apache_ext2_attack", text)
+
+    biggest = result.cells[
+        (max(scale.ext2_connections), max(scale.ext2_directories))
+    ]
+    assert biggest.success_rate == 1.0
+    assert biggest.avg_copies > 0
+    assert max(elapsed) < 300

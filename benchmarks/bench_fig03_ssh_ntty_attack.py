@@ -1,0 +1,46 @@
+"""Figure 3: the n_tty dump attack against OpenSSH.
+
+(a) average copies found per dump and (b) success rate vs total
+connections (held open), averaged over repeated attacks.  Paper:
+success ~always with any meaningful number of connections; copies grow
+with connections; attack under a minute.
+"""
+
+from repro.analysis.experiments import ntty_attack_sweep
+from repro.analysis.report import render_series
+from repro.core.protection import ProtectionLevel
+
+
+def run_sweep(scale):
+    return ntty_attack_sweep(
+        "openssh",
+        connections=scale.ntty_connections,
+        repetitions=scale.ntty_repetitions,
+        level=ProtectionLevel.NONE,
+        key_bits=scale.key_bits,
+        memory_mb=scale.ntty_memory_mb,
+    )
+
+
+def test_fig03_ssh_ntty_attack(benchmark, scale, record_figure):
+    result = benchmark.pedantic(run_sweep, args=(scale,), rounds=1, iterations=1)
+
+    text = render_series(
+        "Figure 3: OpenSSH n_tty attack",
+        "conns",
+        {
+            "(a) avg copies found": result.copies_series(),
+            "(b) success rate": result.success_series(),
+        },
+    )
+    record_figure("fig03_ssh_ntty_attack", text)
+
+    copies = dict(result.copies_series())
+    success = dict(result.success_series())
+    most = max(scale.ntty_connections)
+    least = min(c for c in scale.ntty_connections if c > 0)
+    assert success[most] == 1.0
+    assert copies[most] > copies[least]
+    assert copies[most] > copies[0]
+    cell = result.cells[most]
+    assert cell.avg_elapsed_s < 60

@@ -1,0 +1,42 @@
+"""Figure 4: the n_tty dump attack against Apache.
+
+Paper: the attack always succeeds once ~30 or more connections are
+established; copies grow with connections; under a minute.
+"""
+
+from repro.analysis.experiments import ntty_attack_sweep
+from repro.analysis.report import render_series
+from repro.core.protection import ProtectionLevel
+
+
+def run_sweep(scale):
+    return ntty_attack_sweep(
+        "apache",
+        connections=scale.ntty_connections,
+        repetitions=scale.ntty_repetitions,
+        level=ProtectionLevel.NONE,
+        key_bits=scale.key_bits,
+        memory_mb=scale.ntty_memory_mb,
+    )
+
+
+def test_fig04_apache_ntty_attack(benchmark, scale, record_figure):
+    result = benchmark.pedantic(run_sweep, args=(scale,), rounds=1, iterations=1)
+
+    text = render_series(
+        "Figure 4: Apache n_tty attack",
+        "conns",
+        {
+            "(a) avg copies found": result.copies_series(),
+            "(b) success rate": result.success_series(),
+        },
+    )
+    record_figure("fig04_apache_ntty_attack", text)
+
+    success = dict(result.success_series())
+    copies = dict(result.copies_series())
+    big = [c for c in scale.ntty_connections if c >= 30]
+    assert all(success[c] == 1.0 for c in big)
+    # Copies grow with connections until the prefork pool saturates at
+    # MaxClients, then plateau; all busy points far exceed idle.
+    assert all(copies[c] > 2 * copies[0] for c in big)

@@ -1,0 +1,53 @@
+"""Figures 5(a)+5(b): OpenSSH baseline key behaviour over the 29-step
+schedule — locations of copies in physical memory and allocated vs
+unallocated counts per step.
+
+Paper observations asserted: (1) PEM cached before start (Reiser);
+(2) d/P/Q appear at server start; (3) flood + unallocated copies when
+traffic starts; (4) abrupt drop when traffic stops; (5) after shutdown
+only the page-cache PEM copy stays allocated.
+"""
+
+from repro.analysis.report import render_locations, render_timeline
+from repro.analysis.timeline import (
+    T_START_SERVER,
+    T_TRAFFIC_8,
+    T_TRAFFIC_16,
+    T_TRAFFIC_STOP,
+    run_timeline,
+)
+from repro.core.protection import ProtectionLevel
+
+
+def run(scale):
+    return run_timeline(
+        "openssh",
+        ProtectionLevel.NONE,
+        seed=5,
+        memory_mb=scale.memory_mb,
+        key_bits=scale.key_bits,
+        cycles_per_slot=scale.timeline_cycles_per_slot,
+    )
+
+
+def test_fig05_ssh_timeline_baseline(benchmark, scale, record_figure):
+    result = benchmark.pedantic(run, args=(scale,), rounds=1, iterations=1)
+
+    text = render_timeline(result)
+    text += "\n\nFigure 5(a) analog — x: allocated copy, +: unallocated copy\n"
+    text += render_locations(result)
+    record_figure("fig05_ssh_timeline_baseline", text)
+
+    steps = result.steps
+    assert steps[0].total == 1 and steps[0].regions.get("pagecache") == 1
+    assert steps[T_START_SERVER].allocated > 1
+    assert steps[T_TRAFFIC_8].allocated > 3 * steps[T_TRAFFIC_8 - 1].allocated
+    assert steps[T_TRAFFIC_16].allocated > steps[T_TRAFFIC_16 - 1].allocated
+    assert any(
+        s.unallocated > 0 for s in steps[T_TRAFFIC_8:T_TRAFFIC_STOP]
+    )
+    assert steps[T_TRAFFIC_STOP].allocated < steps[T_TRAFFIC_STOP - 1].allocated / 3
+    final = steps[-1]
+    assert final.allocated == 1
+    assert final.regions.get("pagecache") == 1
+    assert final.unallocated > 0

@@ -1,0 +1,45 @@
+"""Figures 6(a)+6(b): Apache baseline key behaviour over the 29-step
+schedule.
+
+Paper observations asserted: (1) multiple copies at server start;
+(2) flood when requests begin, with unallocated copies appearing;
+(3) when load drops the total falls but unallocated copies *rise*;
+(4) residue persists in unallocated memory through the end.
+"""
+
+from repro.analysis.report import render_locations, render_timeline
+from repro.analysis.timeline import (
+    T_START_SERVER,
+    T_TRAFFIC_8,
+    T_TRAFFIC_16,
+    T_TRAFFIC_STOP,
+    run_timeline,
+)
+from repro.core.protection import ProtectionLevel
+
+
+def run(scale):
+    return run_timeline(
+        "apache",
+        ProtectionLevel.NONE,
+        seed=5,
+        memory_mb=scale.memory_mb,
+        key_bits=scale.key_bits,
+        cycles_per_slot=scale.timeline_cycles_per_slot,
+    )
+
+
+def test_fig06_apache_timeline_baseline(benchmark, scale, record_figure):
+    result = benchmark.pedantic(run, args=(scale,), rounds=1, iterations=1)
+
+    text = render_timeline(result)
+    text += "\n\nFigure 6(a) analog — x: allocated copy, +: unallocated copy\n"
+    text += render_locations(result)
+    record_figure("fig06_apache_timeline_baseline", text)
+
+    steps = result.steps
+    assert steps[T_START_SERVER].allocated >= 4
+    assert steps[T_TRAFFIC_16].allocated > 2 * steps[T_TRAFFIC_8 - 1].allocated
+    assert any(s.unallocated > 0 for s in steps[T_TRAFFIC_8:T_TRAFFIC_STOP])
+    assert steps[T_TRAFFIC_STOP].unallocated >= steps[T_TRAFFIC_16].unallocated
+    assert steps[-1].unallocated > 10

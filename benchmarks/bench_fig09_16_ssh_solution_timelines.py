@@ -1,0 +1,81 @@
+"""Figures 9-16: OpenSSH timelines under each of the four solutions.
+
+========  ===========================  =====================================
+Figures   solution                     expected memory state
+========  ===========================  =====================================
+9, 10     application level            constant few allocated; 0 unallocated
+11, 12    library level                identical to application level
+13, 14    kernel level                 many allocated; 0 unallocated
+15, 16    integrated library-kernel    exactly d/P/Q on one page; 0 unalloc;
+                                       PEM evicted; nothing after shutdown
+========  ===========================  =====================================
+"""
+
+import pytest
+
+from repro.analysis.report import render_locations, render_timeline
+from repro.analysis.timeline import T_TRAFFIC_16, T_TRAFFIC_8, run_timeline
+from repro.core.protection import ProtectionLevel
+
+LEVELS = (
+    ("fig09_10", ProtectionLevel.APPLICATION),
+    ("fig11_12", ProtectionLevel.LIBRARY),
+    ("fig13_14", ProtectionLevel.KERNEL),
+    ("fig15_16", ProtectionLevel.INTEGRATED),
+)
+
+
+def run_all(scale):
+    return {
+        level: run_timeline(
+            "openssh",
+            level,
+            seed=5,
+            memory_mb=scale.memory_mb,
+            key_bits=scale.key_bits,
+            cycles_per_slot=scale.timeline_cycles_per_slot,
+        )
+        for _, level in LEVELS
+    }
+
+
+def test_fig09_16_ssh_solution_timelines(benchmark, scale, record_figure):
+    results = benchmark.pedantic(run_all, args=(scale,), rounds=1, iterations=1)
+
+    text = ""
+    for name, level in LEVELS:
+        result = results[level]
+        text += f"--- {name}: {level.value} level ---\n"
+        text += render_timeline(result) + "\n"
+        text += render_locations(result) + "\n\n"
+    record_figure("fig09_16_ssh_solution_timelines", text)
+
+    app = results[ProtectionLevel.APPLICATION]
+    lib = results[ProtectionLevel.LIBRARY]
+    kern = results[ProtectionLevel.KERNEL]
+    integrated = results[ProtectionLevel.INTEGRATED]
+
+    # App/lib: constant small allocated count, zero unallocated, and
+    # independence from the number of connections (Figs 9-12).
+    for result in (app, lib):
+        busy = result.steps[T_TRAFFIC_8:T_TRAFFIC_16 + 4]
+        assert all(s.unallocated == 0 for s in result.steps)
+        assert len({s.allocated for s in busy}) == 1
+        assert busy[0].allocated <= 5
+    # The two are byte-for-byte equivalent protections (paper: "the
+    # result is the same").
+    assert app.series("allocated") == lib.series("allocated")
+
+    # Kernel level: flooding in allocated memory, nothing unallocated
+    # (Figs 13-14); PEM remains cached to the end.
+    assert kern.steps[T_TRAFFIC_16].allocated > 50
+    assert all(s.unallocated == 0 for s in kern.steps)
+    assert kern.steps[-1].regions.get("pagecache") == 1
+
+    # Integrated: exactly the three co-located parts while running,
+    # no PEM cache copy, and a completely clean machine afterwards
+    # (Figs 15-16).
+    busy = integrated.steps[T_TRAFFIC_8:T_TRAFFIC_16 + 4]
+    assert all(s.total == 3 for s in busy)
+    assert all(s.regions.get("pagecache", 0) == 0 for s in integrated.steps)
+    assert integrated.steps[-1].total == 0

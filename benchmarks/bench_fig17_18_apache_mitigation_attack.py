@@ -1,0 +1,56 @@
+"""Figures 17+18: the n_tty attack against Apache before/after the
+integrated library-kernel solution.
+
+Paper: copies drop from ~tens to ~one; success falls from ~100% to
+roughly the dump coverage (reported ~38-50%).
+"""
+
+from repro.analysis.experiments import mitigation_comparison
+from repro.analysis.report import render_series
+from repro.core.protection import ProtectionLevel
+
+
+def run(scale):
+    return mitigation_comparison(
+        "apache",
+        connections=scale.ntty_connections,
+        repetitions=scale.ntty_repetitions,
+        mitigated_level=ProtectionLevel.INTEGRATED,
+        key_bits=scale.key_bits,
+        memory_mb=scale.ntty_memory_mb,
+    )
+
+
+def test_fig17_18_apache_mitigation_attack(benchmark, scale, record_figure):
+    baseline, mitigated = benchmark.pedantic(
+        run, args=(scale,), rounds=1, iterations=1
+    )
+
+    text = render_series(
+        "Figure 17: avg # of Apache key copies found per n_tty dump",
+        "conns",
+        {
+            "original": baseline.copies_series(),
+            "with library-kernel solution": mitigated.copies_series(),
+        },
+    )
+    text += "\n\n" + render_series(
+        "Figure 18: Apache n_tty attack success rate",
+        "conns",
+        {
+            "original": baseline.success_series(),
+            "with library-kernel solution": mitigated.success_series(),
+        },
+    )
+    record_figure("fig17_18_apache_mitigation_attack", text)
+
+    busy = [c for c in scale.ntty_connections if c >= 30]
+    base_copies = dict(baseline.copies_series())
+    mit_copies = dict(mitigated.copies_series())
+    mit_rate = dict(mitigated.success_series())
+    for conns in busy:
+        assert dict(baseline.success_series())[conns] == 1.0
+        assert base_copies[conns] > 10 * max(1.0, mit_copies[conns])
+        assert mit_copies[conns] <= 3.0
+    mean_rate = sum(mit_rate[c] for c in busy) / len(busy)
+    assert 0.2 <= mean_rate <= 0.8

@@ -1,0 +1,46 @@
+"""Figures 19+20: Apache Siege benchmark before/after the integrated
+library-kernel solution.
+
+4000 HTTPS transactions at concurrency 20.  Metrics: response time,
+throughput (bytes/s), transaction rate, concurrency.  Paper: the
+modifications "do not incur any performance penalty".
+"""
+
+from repro.analysis.perfbench import overhead_ratio, run_siege
+from repro.analysis.report import render_table
+from repro.core.protection import ProtectionLevel
+
+
+def run(scale):
+    before = run_siege(
+        ProtectionLevel.NONE,
+        transactions=scale.perf_transactions,
+        key_bits=scale.key_bits,
+        memory_mb=scale.memory_mb,
+    )
+    after = run_siege(
+        ProtectionLevel.INTEGRATED,
+        transactions=scale.perf_transactions,
+        key_bits=scale.key_bits,
+        memory_mb=scale.memory_mb,
+    )
+    return before, after
+
+
+def test_fig19_20_apache_performance(benchmark, scale, record_figure):
+    before, after = benchmark.pedantic(run, args=(scale,), rounds=1, iterations=1)
+
+    rows = [
+        ["response time (s)", before.response_time_s, after.response_time_s],
+        ["throughput (bytes/s)", before.throughput_bytes, after.throughput_bytes],
+        ["transaction rate (trans/s)", before.transaction_rate, after.transaction_rate],
+        ["concurrency", before.effective_concurrency, after.effective_concurrency],
+    ]
+    text = render_table(["metric", "original", "multilevel"], rows)
+    text += f"\n\noverall overhead: {overhead_ratio(before, after) * 100:+.2f}%"
+    record_figure("fig19_20_apache_performance", text)
+
+    assert abs(overhead_ratio(before, after)) < 0.05
+    assert after.response_time_s == __import__("pytest").approx(
+        before.response_time_s, rel=0.05
+    )

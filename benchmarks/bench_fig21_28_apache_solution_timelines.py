@@ -1,0 +1,67 @@
+"""Figures 21-28: Apache timelines under each of the four solutions.
+
+Same expectations as the OpenSSH counterparts (Figures 9-16): app/lib
+keep a constant handful of allocated copies independent of worker
+count; kernel level floods allocated memory but keeps unallocated
+clean; integrated leaves exactly the single aligned page and evicts
+the PEM from the page cache.
+"""
+
+from repro.analysis.report import render_locations, render_timeline
+from repro.analysis.timeline import T_TRAFFIC_16, T_TRAFFIC_8, run_timeline
+from repro.core.protection import ProtectionLevel
+
+LEVELS = (
+    ("fig21_22", ProtectionLevel.APPLICATION),
+    ("fig23_24", ProtectionLevel.LIBRARY),
+    ("fig25_26", ProtectionLevel.KERNEL),
+    ("fig27_28", ProtectionLevel.INTEGRATED),
+)
+
+
+def run_all(scale):
+    return {
+        level: run_timeline(
+            "apache",
+            level,
+            seed=5,
+            memory_mb=scale.memory_mb,
+            key_bits=scale.key_bits,
+            cycles_per_slot=scale.timeline_cycles_per_slot,
+        )
+        for _, level in LEVELS
+    }
+
+
+def test_fig21_28_apache_solution_timelines(benchmark, scale, record_figure):
+    results = benchmark.pedantic(run_all, args=(scale,), rounds=1, iterations=1)
+
+    text = ""
+    for name, level in LEVELS:
+        result = results[level]
+        text += f"--- {name}: {level.value} level ---\n"
+        text += render_timeline(result) + "\n"
+        text += render_locations(result) + "\n\n"
+    record_figure("fig21_28_apache_solution_timelines", text)
+
+    app = results[ProtectionLevel.APPLICATION]
+    lib = results[ProtectionLevel.LIBRARY]
+    kern = results[ProtectionLevel.KERNEL]
+    integrated = results[ProtectionLevel.INTEGRATED]
+
+    for result in (app, lib):
+        busy = result.steps[T_TRAFFIC_8:T_TRAFFIC_16 + 4]
+        assert all(s.unallocated == 0 for s in result.steps)
+        # "the number of keys in memory are no longer dependent on the
+        # number of processes running" (§6.3).
+        assert len({s.allocated for s in busy}) == 1
+        assert busy[0].allocated <= 5
+    assert app.series("allocated") == lib.series("allocated")
+
+    assert kern.steps[T_TRAFFIC_16].allocated > 50
+    assert all(s.unallocated == 0 for s in kern.steps)
+
+    busy = integrated.steps[T_TRAFFIC_8:T_TRAFFIC_16 + 4]
+    assert all(s.total == 3 for s in busy)
+    assert all(s.regions.get("pagecache", 0) == 0 for s in integrated.steps)
+    assert integrated.steps[-1].total == 0

@@ -1,0 +1,96 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's figures and writes the
+paper-comparable series to ``benchmarks/results/<name>.txt`` (also
+echoed to stdout; run with ``-s`` to see it live).
+
+Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable:
+
+* ``quick`` (default) — scaled-down grids that preserve every shape
+  and finish in seconds per figure;
+* ``paper`` — the paper's full grids (§2: 15/20 attack repetitions,
+  connections up to 500, directories up to 10000, 4000 transfers).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    name: str
+    ext2_connections: tuple
+    ext2_directories: tuple
+    ext2_repetitions: int
+    ntty_connections: tuple
+    ntty_repetitions: int
+    perf_transactions: int
+    timeline_cycles_per_slot: int
+    key_bits: int
+    memory_mb: int
+    #: The n_tty sweep holds up to 120 concurrent sshd children open,
+    #: each with a realistic image footprint; it needs a bigger box.
+    ntty_memory_mb: int
+
+
+QUICK = BenchScale(
+    name="quick",
+    ext2_connections=(20, 80, 200),
+    ext2_directories=(200, 1000),
+    ext2_repetitions=2,
+    ntty_connections=(0, 10, 40, 80, 120),
+    ntty_repetitions=6,
+    perf_transactions=200,
+    timeline_cycles_per_slot=2,
+    key_bits=1024,
+    memory_mb=16,
+    ntty_memory_mb=32,
+)
+
+PAPER = BenchScale(
+    name="paper",
+    ext2_connections=tuple(range(50, 501, 50)),
+    ext2_directories=tuple(range(1000, 10001, 1000)),
+    ext2_repetitions=15,
+    ntty_connections=tuple(range(0, 121, 10)),
+    ntty_repetitions=20,
+    perf_transactions=4000,
+    timeline_cycles_per_slot=4,
+    key_bits=1024,
+    memory_mb=32,
+    ntty_memory_mb=64,
+)
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    choice = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    if choice == "paper":
+        return PAPER
+    return QUICK
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_figure(results_dir, scale):
+    """Write one figure's regenerated series to disk and stdout."""
+
+    def _record(name: str, text: str) -> None:
+        banner = f"=== {name} (scale={scale.name}) ===\n"
+        payload = banner + text + "\n"
+        (results_dir / f"{name}.txt").write_text(payload)
+        print("\n" + payload)
+
+    return _record

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""The §4 protection ladder, applied to an Apache HTTPS server.
+
+Runs the same loaded server at each of the paper's four protection
+levels and prints what the scanner and both attacks see, making the
+strengths-and-limitations table of §4 concrete:
+
+* application/library — one mlocked key page, but a crash can still
+  drop it into free memory;
+* kernel — free memory always clean, allocated memory still floods;
+* integrated — one page, clean free memory, PEM evicted from cache.
+
+Run:  python examples/apache_protection_ladder.py
+"""
+
+from repro import ProtectionLevel, Simulation, SimulationConfig
+
+
+def evaluate(level: ProtectionLevel) -> None:
+    sim = Simulation(
+        SimulationConfig(server="apache", level=level, seed=11, key_bits=1024)
+    )
+    sim.start_server()
+    sim.cycle_connections(60)   # enough to recycle prefork workers
+    sim.hold_connections(12)
+
+    report = sim.scan()
+    ext2 = sim.run_ext2_attack(800)
+    ntty_wins = sum(sim.run_ntty_attack().success for _ in range(8))
+
+    print(f"\n--- {level.value:>12} ---")
+    print(f"  scanner: {report.allocated_count:>3} allocated, "
+          f"{report.unallocated_count:>3} unallocated "
+          f"(regions: {report.by_region()})")
+    print(f"  ext2 dir leak : {'EXPOSED' if ext2.success else 'eliminated':<10}"
+          f" ({ext2.total_copies} copies)")
+    print(f"  n_tty dump    : {ntty_wins}/8 attacks succeed")
+
+
+def main() -> None:
+    print("Apache 2.0-style prefork HTTPS server under attack, level by level")
+    for level in (
+        ProtectionLevel.NONE,
+        ProtectionLevel.APPLICATION,
+        ProtectionLevel.LIBRARY,
+        ProtectionLevel.KERNEL,
+        ProtectionLevel.INTEGRATED,
+    ):
+        evaluate(level)
+
+    print(
+        "\nReading the ladder:"
+        "\n  none         -> both attacks win easily"
+        "\n  app/library  -> one allocated copy; ext2 leak starved; a"
+        "\n                  large n_tty dump can still hit the one page"
+        "\n  kernel       -> ext2 eliminated, but allocated memory still"
+        "\n                  floods, so n_tty wins almost always"
+        "\n  integrated   -> strictly strongest: one copy, clean free"
+        "\n                  memory, no PEM in the page cache"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: expose a server's RSA key, then protect it.
+
+Boots two simulated machines running an OpenSSH server — one stock,
+one with the paper's integrated library-kernel solution — floods each
+with connections, and runs both memory-disclosure exploits.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ProtectionLevel, Simulation, SimulationConfig
+
+
+def attack_machine(level: ProtectionLevel) -> None:
+    print(f"\n=== OpenSSH server, protection level: {level.value} ===")
+    sim = Simulation(
+        SimulationConfig(server="openssh", level=level, seed=42, key_bits=1024)
+    )
+    sim.start_server()
+
+    # Drive traffic: 40 sequential sessions, then 12 held open.
+    sim.cycle_connections(40)
+    sim.hold_connections(12)
+
+    report = sim.scan()
+    print(
+        f"scanmemory: {report.total} key copies in RAM "
+        f"({report.allocated_count} allocated / "
+        f"{report.unallocated_count} unallocated), regions: {report.by_region()}"
+    )
+
+    ext2 = sim.run_ext2_attack(num_dirs=1000)
+    print(
+        f"ext2 dir-leak attack  [CVE-2005-0400-style]: "
+        f"{'KEY EXPOSED' if ext2.success else 'nothing found'} "
+        f"({ext2.total_copies} copies in {ext2.disclosed_bytes // 1024} KB, "
+        f"{ext2.elapsed_s:.1f}s simulated)"
+    )
+
+    ntty = sim.run_ntty_attack()
+    print(
+        f"n_tty random dump     [Guninski 2005]:        "
+        f"{'KEY EXPOSED' if ntty.success else 'nothing found'} "
+        f"({ntty.total_copies} copies, {ntty.coverage:.0%} of RAM dumped)"
+    )
+
+
+def main() -> None:
+    attack_machine(ProtectionLevel.NONE)
+    attack_machine(ProtectionLevel.INTEGRATED)
+    print(
+        "\nThe integrated solution leaves exactly one physical key page"
+        "\n(d, p, q co-located, mlocked, COW-shared by every child), so"
+        "\nthe ext2 leak finds nothing and the n_tty dump only wins when"
+        "\nits random window happens to cover that single page."
+    )
+
+
+if __name__ == "__main__":
+    main()

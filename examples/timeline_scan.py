@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Figure 5, live: key locations in physical memory over time.
+
+Runs the paper's 29-step simulation schedule against a baseline and an
+integrated-protection OpenSSH server and renders the Figure 5(a)-style
+location scatter ('x' = copy in allocated memory, '+' = copy in
+unallocated memory) plus the per-step counts of Figure 5(b).
+
+Run:  python examples/timeline_scan.py
+"""
+
+from repro.analysis.report import render_locations, render_timeline
+from repro.analysis.timeline import run_timeline
+from repro.core.protection import ProtectionLevel
+
+
+def show(level: ProtectionLevel) -> None:
+    result = run_timeline(
+        "openssh", level, seed=5, memory_mb=16, key_bits=1024, cycles_per_slot=2
+    )
+    print("\n" + "=" * 70)
+    print(render_timeline(result))
+    print()
+    print(render_locations(result))
+
+
+def main() -> None:
+    print("Schedule: t=2 start sshd; t=6 8 concurrent transfers; t=10")
+    print("16 concurrent; t=14 back to 8; t=18 traffic stops; t=22 sshd")
+    print("stops; t=29 end.  One scan per step.")
+    show(ProtectionLevel.NONE)
+    show(ProtectionLevel.INTEGRATED)
+    print(
+        "\nBaseline: copies flood with traffic and rain into unallocated"
+        "\nmemory ('+') as children exit; only the page-cache PEM copy"
+        "\nremains allocated after shutdown.  Integrated: a single 'x'"
+        "\ncolumn — the aligned page — and a clean machine afterwards."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""repro — reproduction of Harrison & Xu, "Protecting Cryptographic
+Keys from Memory Disclosure Attacks" (DSN 2007).
+
+Public API tour:
+
+* :class:`repro.core.Simulation` — boot a machine, run a server at a
+  chosen protection level, attack it, scan it;
+* :class:`repro.core.ProtectionLevel` — NONE / APPLICATION / LIBRARY /
+  KERNEL / INTEGRATED (§4 of the paper);
+* :func:`repro.core.rsa_memory_align` — the paper's novel mechanism;
+* :mod:`repro.attacks` — the two disclosure exploits + the scanner;
+* :mod:`repro.analysis` — the experiment drivers that regenerate every
+  figure in the paper's evaluation.
+"""
+
+from repro.core.protection import ProtectionLevel, ProtectionPolicy, policy_for
+from repro.core.simulation import Simulation, SimulationConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ProtectionLevel",
+    "ProtectionPolicy",
+    "Simulation",
+    "SimulationConfig",
+    "policy_for",
+]

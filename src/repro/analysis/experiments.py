@@ -1,0 +1,186 @@
+"""Attack-sweep experiments (Figures 1-4, 7, 17-18).
+
+Two sweep shapes from §2:
+
+* **ext2 sweep** — establish N connections (then close them), create D
+  directories on the USB stick, search the device image.  A fresh
+  machine per attack, repeated ``repetitions`` times per (N, D) cell;
+  the paper averaged 15 attacks.
+
+* **n_tty sweep** — establish N connections and *hold them open*, then
+  dump a random ~50% window ``repetitions`` times; the paper averaged
+  20 attacks.
+
+``mitigation_comparison`` runs the n_tty sweep at baseline and at a
+mitigated level — the before/after pairs of Figures 7, 17 and 18.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.protection import ProtectionLevel
+from repro.core.simulation import Simulation, SimulationConfig
+
+#: Paper-scale parameter grids (§2).
+PAPER_EXT2_CONNECTIONS = tuple(range(50, 501, 50))
+PAPER_EXT2_DIRECTORIES = tuple(range(1000, 10001, 1000))
+PAPER_NTTY_CONNECTIONS = tuple(range(0, 121, 10))
+PAPER_EXT2_REPETITIONS = 15
+PAPER_NTTY_REPETITIONS = 20
+
+#: Scaled-down grids that preserve the shapes but run in seconds.
+QUICK_EXT2_CONNECTIONS = (25, 100, 250)
+QUICK_EXT2_DIRECTORIES = (200, 800, 2000)
+QUICK_NTTY_CONNECTIONS = (0, 10, 30, 60, 120)
+QUICK_REPETITIONS = 5
+
+
+@dataclass
+class SweepCell:
+    """Averages for one parameter combination."""
+
+    avg_copies: float
+    success_rate: float
+    avg_elapsed_s: float
+    samples: int
+
+
+@dataclass
+class Ext2SweepResult:
+    """Figure 1/2 data: (connections, directories) → cell."""
+
+    server: str
+    level: ProtectionLevel
+    cells: Dict[Tuple[int, int], SweepCell] = field(default_factory=dict)
+
+    def copies_surface(self) -> Dict[Tuple[int, int], float]:
+        return {key: cell.avg_copies for key, cell in self.cells.items()}
+
+    def success_surface(self) -> Dict[Tuple[int, int], float]:
+        return {key: cell.success_rate for key, cell in self.cells.items()}
+
+
+@dataclass
+class NttySweepResult:
+    """Figure 3/4/7/17/18 data: connections → cell."""
+
+    server: str
+    level: ProtectionLevel
+    cells: Dict[int, SweepCell] = field(default_factory=dict)
+
+    def copies_series(self) -> List[Tuple[int, float]]:
+        return sorted((conns, cell.avg_copies) for conns, cell in self.cells.items())
+
+    def success_series(self) -> List[Tuple[int, float]]:
+        return sorted((conns, cell.success_rate) for conns, cell in self.cells.items())
+
+
+def ext2_attack_sweep(
+    server: str,
+    connections: Sequence[int] = QUICK_EXT2_CONNECTIONS,
+    directories: Sequence[int] = QUICK_EXT2_DIRECTORIES,
+    repetitions: int = QUICK_REPETITIONS,
+    level: ProtectionLevel = ProtectionLevel.NONE,
+    seed: int = 0,
+    memory_mb: int = 16,
+    key_bits: int = 1024,
+) -> Ext2SweepResult:
+    """Reproduce Figure 1 (openssh) / Figure 2 (apache), or their
+    §5.2/§6.2 mitigated re-runs at another protection level."""
+    result = Ext2SweepResult(server=server, level=level)
+    for conns in connections:
+        for dirs in directories:
+            copies: List[int] = []
+            successes = 0
+            elapsed: List[float] = []
+            for rep in range(repetitions):
+                sim = Simulation(
+                    SimulationConfig(
+                        server=server,
+                        level=level,
+                        seed=seed + 1000 * rep + conns + dirs,
+                        memory_mb=memory_mb,
+                        key_bits=key_bits,
+                    )
+                )
+                sim.start_server()
+                sim.cycle_connections(conns)
+                attack = sim.run_ext2_attack(dirs)
+                copies.append(attack.total_copies)
+                successes += attack.success
+                elapsed.append(attack.elapsed_s)
+            result.cells[(conns, dirs)] = SweepCell(
+                avg_copies=sum(copies) / repetitions,
+                success_rate=successes / repetitions,
+                avg_elapsed_s=sum(elapsed) / repetitions,
+                samples=repetitions,
+            )
+    return result
+
+
+def ntty_attack_sweep(
+    server: str,
+    connections: Sequence[int] = QUICK_NTTY_CONNECTIONS,
+    repetitions: int = QUICK_REPETITIONS,
+    level: ProtectionLevel = ProtectionLevel.NONE,
+    seed: int = 0,
+    memory_mb: int = 16,
+    key_bits: int = 1024,
+) -> NttySweepResult:
+    """Reproduce Figure 3 (openssh) / Figure 4 (apache), or the
+    mitigated series of Figures 7, 17 and 18."""
+    result = NttySweepResult(server=server, level=level)
+    for conns in connections:
+        sim = Simulation(
+            SimulationConfig(
+                server=server,
+                level=level,
+                seed=seed + conns,
+                memory_mb=memory_mb,
+                key_bits=key_bits,
+            )
+        )
+        sim.start_server()
+        if conns:
+            sim.hold_connections(conns)
+        copies: List[int] = []
+        successes = 0
+        elapsed: List[float] = []
+        for _ in range(repetitions):
+            attack = sim.run_ntty_attack()
+            copies.append(attack.total_copies)
+            successes += attack.success
+            elapsed.append(attack.elapsed_s)
+        result.cells[conns] = SweepCell(
+            avg_copies=sum(copies) / repetitions,
+            success_rate=successes / repetitions,
+            avg_elapsed_s=sum(elapsed) / repetitions,
+            samples=repetitions,
+        )
+    return result
+
+
+def mitigation_comparison(
+    server: str,
+    connections: Sequence[int] = QUICK_NTTY_CONNECTIONS,
+    repetitions: int = QUICK_REPETITIONS,
+    mitigated_level: ProtectionLevel = ProtectionLevel.INTEGRATED,
+    seed: int = 0,
+    memory_mb: int = 16,
+    key_bits: int = 1024,
+) -> Tuple[NttySweepResult, NttySweepResult]:
+    """Before/after n_tty sweeps (Figures 7a+7b, 17, 18).
+
+    Returns ``(baseline, mitigated)``.
+    """
+    baseline = ntty_attack_sweep(
+        server, connections, repetitions, ProtectionLevel.NONE,
+        seed=seed, memory_mb=memory_mb, key_bits=key_bits,
+    )
+    mitigated = ntty_attack_sweep(
+        server, connections, repetitions, mitigated_level,
+        seed=seed, memory_mb=memory_mb, key_bits=key_bits,
+    )
+    return baseline, mitigated

@@ -1,0 +1,90 @@
+"""CSV export of experiment results, for external plotting.
+
+The benchmark harness prints ASCII tables; users who want to redraw
+the paper's figures in their own plotting stack can serialise any
+result object to CSV with these helpers.  Formats:
+
+* timeline → ``step,server_running,concurrency,allocated,unallocated``
+  plus a companion long-format location file
+  ``step,address,allocated``;
+* n_tty sweep → ``connections,avg_copies,success_rate,samples``;
+* ext2 sweep → ``connections,directories,avg_copies,success_rate``;
+* scan report → one row per match.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.experiments import Ext2SweepResult, NttySweepResult
+    from repro.analysis.timeline import TimelineResult
+    from repro.attacks.scanner import ScanReport
+
+
+def _render(header, rows) -> str:
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(header)
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def timeline_to_csv(result: "TimelineResult") -> str:
+    """Per-step counts (the Figure 5(b)/6(b) series)."""
+    return _render(
+        ["step", "server_running", "concurrency", "allocated", "unallocated"],
+        [
+            [s.index, int(s.server_running), s.concurrency, s.allocated, s.unallocated]
+            for s in result.steps
+        ],
+    )
+
+
+def timeline_locations_to_csv(result: "TimelineResult") -> str:
+    """Long-format location scatter (the Figure 5(a)/6(a) points)."""
+    rows = []
+    for step in result.steps:
+        for address, allocated in step.locations:
+            rows.append([step.index, address, int(allocated)])
+    return _render(["step", "address", "allocated"], rows)
+
+
+def ntty_sweep_to_csv(result: "NttySweepResult") -> str:
+    """Figure 3/4/7/17/18 series."""
+    return _render(
+        ["connections", "avg_copies", "success_rate", "avg_elapsed_s", "samples"],
+        [
+            [conns, cell.avg_copies, cell.success_rate,
+             cell.avg_elapsed_s, cell.samples]
+            for conns, cell in sorted(result.cells.items())
+        ],
+    )
+
+
+def ext2_sweep_to_csv(result: "Ext2SweepResult") -> str:
+    """Figure 1/2 surfaces."""
+    return _render(
+        ["connections", "directories", "avg_copies", "success_rate",
+         "avg_elapsed_s", "samples"],
+        [
+            [conns, dirs, cell.avg_copies, cell.success_rate,
+             cell.avg_elapsed_s, cell.samples]
+            for (conns, dirs), cell in sorted(result.cells.items())
+        ],
+    )
+
+
+def scan_report_to_csv(report: "ScanReport") -> str:
+    """One row per key-copy hit."""
+    return _render(
+        ["pattern", "address", "frame", "allocated", "region",
+         "owners", "matched_bytes", "full"],
+        [
+            [m.pattern, m.address, m.frame, int(m.allocated), m.region,
+             ";".join(map(str, m.owners)), m.matched_bytes, int(m.full)]
+            for m in report.matches
+        ],
+    )

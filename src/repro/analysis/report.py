@@ -1,0 +1,99 @@
+"""Plain-text rendering of the series the paper plots.
+
+The benchmark harness prints these tables so a reader can compare the
+regenerated rows directly against the paper's figures without a
+plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """A padded ASCII table."""
+    columns = [str(h) for h in headers]
+    text_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in columns]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(columns))
+    rule = "-" * len(line)
+    body = [
+        "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        for row in text_rows
+    ]
+    return "\n".join([line, rule] + body)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def render_series(
+    title: str, xlabel: str, series: Dict[str, List[Tuple[int, float]]]
+) -> str:
+    """Several named y-series over a shared integer x-axis."""
+    xs = sorted({x for points in series.values() for x, _ in points})
+    headers = [xlabel] + list(series)
+    lookup = {name: dict(points) for name, points in series.items()}
+    rows = [
+        [x] + [lookup[name].get(x, "") for name in series]
+        for x in xs
+    ]
+    return f"{title}\n" + render_table(headers, rows)
+
+
+def render_surface(
+    title: str,
+    row_label: str,
+    col_label: str,
+    surface: Dict[Tuple[int, int], float],
+) -> str:
+    """A (row, col) → value grid, rows = first key element."""
+    rows_keys = sorted({r for r, _ in surface})
+    cols_keys = sorted({c for _, c in surface})
+    headers = [f"{row_label}\\{col_label}"] + [str(c) for c in cols_keys]
+    rows = [
+        [r] + [surface.get((r, c), "") for c in cols_keys]
+        for r in rows_keys
+    ]
+    return f"{title}\n" + render_table(headers, rows)
+
+
+def render_timeline(result) -> str:
+    """Per-step allocated/unallocated copy counts (Figures 5b/6b...)."""
+    headers = ["step", "running", "concurrency", "allocated", "unallocated", "total"]
+    rows = [
+        [s.index, "yes" if s.server_running else "no", s.concurrency,
+         s.allocated, s.unallocated, s.total]
+        for s in result.steps
+    ]
+    title = (
+        f"Timeline: {result.server} at level={result.level.value} "
+        f"(seed={result.seed})"
+    )
+    return f"{title}\n" + render_table(headers, rows)
+
+
+def render_locations(result, width: int = 64) -> str:
+    """ASCII scatter of key locations over time (Figures 5a/6a...).
+
+    Each row is a step; '×' marks a copy in allocated memory, '+' in
+    unallocated memory, '*' both in the same bucket.
+    """
+    lines = [f"physical memory (0 .. {result.memory_bytes // (1 << 20)} MB), one row per step:"]
+    for step in result.steps:
+        buckets = [" "] * width
+        for address, allocated in step.locations:
+            slot = min(width - 1, address * width // result.memory_bytes)
+            mark = "x" if allocated else "+"
+            if buckets[slot] not in (" ", mark):
+                buckets[slot] = "*"
+            else:
+                buckets[slot] = mark
+        lines.append(f"t={step.index:>2} |{''.join(buckets)}|")
+    return "\n".join(lines)

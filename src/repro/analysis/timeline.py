@@ -1,0 +1,178 @@
+"""The paper's 29-step timeline experiment (§3.2, §5.3, §6.3).
+
+The Perl driver in the paper's appendix runs this schedule, in
+2-minute steps, and reads the scanner's /proc entry at every step:
+
+=====  =======================================================
+step   event
+=====  =======================================================
+t=0    simulation starts, server not running
+t=2    server started (/etc/init.d/{sshd,apache2} start)
+t=6    client 1 begins: 8 concurrent transfers (~4 s each)
+t=10   client 2 joins: 16 concurrent transfers
+t=14   client 1 stops: back to 8
+t=18   all traffic stops
+t=22   server stopped
+t=29   simulation ends
+=====  =======================================================
+
+``run_timeline`` reproduces it for either server at any protection
+level and returns, per step, everything Figures 5/6 (baseline) and
+9-16 / 21-28 (each solution) plot: the physical locations of every key
+copy (split allocated "×" vs unallocated "+"), and the copy counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.apps.sshd import OpenSSHServer
+from repro.core.protection import ProtectionLevel
+from repro.core.simulation import Simulation, SimulationConfig
+
+#: The paper's event times (in 2-minute steps).
+T_START_SERVER = 2
+T_TRAFFIC_8 = 6
+T_TRAFFIC_16 = 10
+T_TRAFFIC_BACK_TO_8 = 14
+T_TRAFFIC_STOP = 18
+T_STOP_SERVER = 22
+T_END = 29
+
+#: Target concurrency per step index.
+def _concurrency_at(step: int) -> int:
+    if T_TRAFFIC_8 <= step < T_TRAFFIC_16:
+        return 8
+    if T_TRAFFIC_16 <= step < T_TRAFFIC_BACK_TO_8:
+        return 16
+    if T_TRAFFIC_BACK_TO_8 <= step < T_TRAFFIC_STOP:
+        return 8
+    return 0
+
+
+@dataclass
+class TimelineStep:
+    """Scanner output at one 2-minute mark."""
+
+    index: int
+    server_running: bool
+    concurrency: int
+    #: Copies in allocated memory (the light bars / "×" marks).
+    allocated: int
+    #: Copies in unallocated memory (the dark bars / "+" marks).
+    unallocated: int
+    #: (physical_address, is_allocated) for every hit — the scatter of
+    #: Figures 5(a)/6(a) etc.
+    locations: List[Tuple[int, bool]] = field(default_factory=list)
+    #: Copies per region kind at this step.
+    regions: dict = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return self.allocated + self.unallocated
+
+
+@dataclass
+class TimelineResult:
+    """One full 29-step run."""
+
+    server: str
+    level: ProtectionLevel
+    seed: int
+    memory_bytes: int
+    steps: List[TimelineStep] = field(default_factory=list)
+
+    def series(self, which: str) -> List[int]:
+        """Per-step counts: 'allocated', 'unallocated' or 'total'."""
+        if which not in ("allocated", "unallocated", "total"):
+            raise ValueError(f"unknown series {which!r}")
+        return [getattr(step, which) for step in self.steps]
+
+    def peak_total(self) -> int:
+        return max(step.total for step in self.steps)
+
+    def step(self, index: int) -> TimelineStep:
+        return self.steps[index]
+
+
+def run_timeline(
+    server: str = "openssh",
+    level: ProtectionLevel = ProtectionLevel.NONE,
+    seed: int = 0,
+    memory_mb: int = 16,
+    key_bits: int = 1024,
+    cycles_per_slot: int = 4,
+    simulation: Optional[Simulation] = None,
+) -> TimelineResult:
+    """Execute the 29-step schedule and scan at every step.
+
+    ``cycles_per_slot`` models how many times each concurrent transfer
+    slot restarts within one 2-minute step (the paper's ~4-second
+    transfers restart ~30 times; 4 keeps test runs fast while
+    preserving the churn dynamics).
+    """
+    if simulation is None:
+        simulation = Simulation(
+            SimulationConfig(
+                server=server,
+                level=level,
+                seed=seed,
+                memory_mb=memory_mb,
+                key_bits=key_bits,
+            )
+        )
+    sim = simulation
+    result = TimelineResult(
+        server=sim.config.server,
+        level=sim.config.level,
+        seed=sim.config.seed,
+        memory_bytes=sim.kernel.physmem.size,
+    )
+
+    for step in range(T_END + 1):
+        if step == T_START_SERVER:
+            sim.start_server()
+        if step == T_STOP_SERVER and sim.server.running:
+            sim.stop_server()
+
+        running = sim.server.running
+        concurrency = _concurrency_at(step) if running else 0
+        if running:
+            _drive_traffic(sim, concurrency, cycles_per_slot)
+
+        report = sim.scan()
+        result.steps.append(
+            TimelineStep(
+                index=step,
+                server_running=running,
+                concurrency=concurrency,
+                allocated=report.allocated_count,
+                unallocated=report.unallocated_count,
+                locations=[(m.address, m.allocated) for m in report.matches],
+                regions=report.by_region(),
+            )
+        )
+    return result
+
+
+def _drive_traffic(sim: Simulation, concurrency: int, cycles_per_slot: int) -> None:
+    """Bring the server to ``concurrency`` live sessions, with churn.
+
+    Each step closes and reopens every slot ``cycles_per_slot`` times
+    (transfers ending and restarting), then leaves ``concurrency``
+    sessions open so the scan sees the steady in-flight state.
+    """
+    server = sim.server
+    if isinstance(server, OpenSSHServer):
+        server.set_concurrency(concurrency)
+        for _ in range(cycles_per_slot * concurrency):
+            if server.connections:
+                server.connections[0].close()
+            if server.running:
+                connection = server.open_connection()
+                connection.transfer(64 * 1024, sim.workload_rng)
+    else:
+        server.ensure_pool(concurrency)
+        for _ in range(cycles_per_slot * concurrency):
+            server.handle_request(64 * 1024)

@@ -1,0 +1,11 @@
+"""Server applications: the OpenSSH and Apache analogs.
+
+Both servers run *inside* the simulated machine: their key material,
+heap buffers and forked children live in simulated physical memory,
+which is what the attacks and the scanner read.
+"""
+
+from repro.apps.httpd import ApacheConfig, ApacheServer
+from repro.apps.sshd import OpenSSHServer, SshdConfig
+
+__all__ = ["ApacheConfig", "ApacheServer", "OpenSSHServer", "SshdConfig"]

@@ -1,0 +1,31 @@
+"""Attacks and measurement tooling.
+
+* :mod:`repro.attacks.keysearch` — key byte patterns + dump search;
+* :mod:`repro.attacks.ext2_dirleak` — the [17] directory-creation leak;
+* :mod:`repro.attacks.ntty_dump` — the [12] random ~50% RAM dump;
+* :mod:`repro.attacks.scanner` — the ``scanmemory`` kernel-module
+  analog: full physical scan with per-hit process attribution.
+"""
+
+from repro.attacks.coredump import CoreDumpAttack, dump_core
+from repro.attacks.ext2_dirleak import Ext2DirLeakAttack
+from repro.attacks.keysearch import AttackResult, KeyPatternSet
+from repro.attacks.lkm import format_scan_report, install_scanmemory
+from repro.attacks.ntty_dump import NttyDumpAttack
+from repro.attacks.scanner import MemoryScanner, ScanMatch, ScanReport
+from repro.attacks.swap_attack import SwapDiskAttack
+
+__all__ = [
+    "AttackResult",
+    "CoreDumpAttack",
+    "Ext2DirLeakAttack",
+    "KeyPatternSet",
+    "MemoryScanner",
+    "NttyDumpAttack",
+    "ScanMatch",
+    "ScanReport",
+    "SwapDiskAttack",
+    "dump_core",
+    "format_scan_report",
+    "install_scanmemory",
+]

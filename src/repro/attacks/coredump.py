@@ -1,0 +1,72 @@
+"""Core dumps: the Broadwell et al. "scrash" disclosure surface.
+
+§1.2 cites the crash-dump problem: cores are shipped to developers and
+disclose whatever the process had mapped.  A core dump is *allocated
+per-process memory by definition*, which slots it neatly into the
+paper's taxonomy:
+
+* zero-on-free (kernel level) does **nothing** here — the pages are
+  live;
+* alignment reduces the exposure to the single key page — but that
+  page *is* part of the dump, so the key still leaks;
+* only the hardware vault (key has no RAM address) survives a core
+  dump of the key-owning process.
+
+``dump_core`` serialises exactly the resident pages of one process, as
+``do_coredump`` would, into an ELF-ish flat image with per-VMA headers.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.attacks.keysearch import AttackResult, KeyPatternSet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.process import Process
+
+_CORE_MAGIC = b"REPRO-CORE\x00"
+
+
+def dump_core(process: "Process") -> bytes:
+    """Serialise ``process``'s resident memory (a SIGSEGV core).
+
+    Only *present* pages are included — exactly what the kernel's
+    coredump writer emits; swapped or never-faulted pages appear as
+    holes.  The process is left running (think ``gcore``).
+    """
+    kernel = process.kernel
+    page_size = kernel.physmem.page_size
+    chunks = [
+        _CORE_MAGIC
+        + f"pid={process.pid} name={process.name}\n".encode("ascii")
+    ]
+    for vma in sorted(process.mm.vmas, key=lambda vma: vma.start):
+        header = f"VMA {vma.start:#x}-{vma.end:#x} {vma.name or 'anon'}\n"
+        chunks.append(header.encode("ascii"))
+        for vpn in vma.vpns():
+            pte = process.mm.page_table.get(vpn)
+            if pte is None or not pte.present:
+                continue
+            assert pte.frame is not None
+            chunks.append(kernel.physmem.read_frame(pte.frame))
+    image = b"".join(chunks)
+    kernel.clock.charge_transfer(len(image))  # written out to disk
+    return image
+
+
+class CoreDumpAttack:
+    """Search a process's core dump for key material."""
+
+    def __init__(self, process: "Process", patterns: KeyPatternSet) -> None:
+        self.process = process
+        self.patterns = patterns
+
+    def run(self) -> AttackResult:
+        start_mark = self.process.kernel.clock.now_us
+        image = dump_core(self.process)
+        counts = self.patterns.count_in(image)
+        elapsed = (self.process.kernel.clock.now_us - start_mark) / 1e6
+        return AttackResult(
+            counts=counts, disclosed_bytes=len(image), elapsed_s=elapsed
+        )

@@ -1,0 +1,136 @@
+"""Key byte patterns and dump searching.
+
+The paper's §2 definition: *"we only consider d, P, Q, and the
+PEM-encoded file in the sense that disclosure of any of them
+immediately leads to the compromise of the private key.  Therefore, we
+call any appearance of any of them 'a copy of the private key'."*
+
+A :class:`KeyPatternSet` holds exactly those four patterns:
+
+* the big-endian bytes of ``d`` (whole private exponent),
+* the big-endian bytes of ``p`` and of ``q`` (either factors n),
+* a distinctive probe substring of the PEM file body (the PEM text is
+  base64, so raw part bytes never appear inside it).
+
+Patterns of 64+ bytes make false positives in random memory
+astronomically unlikely, mirroring the kernel module's full-length
+match requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.crypto.pem import pem_body_probe
+from repro.crypto.rsa import RsaKey
+
+#: Pattern names in reporting order.
+PATTERN_NAMES = ("d", "p", "q", "pem")
+
+
+def find_all_occurrences(haystack: bytes, needle: bytes) -> List[int]:
+    """Every (possibly overlapping) offset of ``needle`` in ``haystack``."""
+    if not needle:
+        raise ValueError("empty search pattern")
+    hits: List[int] = []
+    pos = haystack.find(needle)
+    while pos != -1:
+        hits.append(pos)
+        pos = haystack.find(needle, pos + 1)
+    return hits
+
+
+class KeyPatternSet:
+    """The four "copy of the private key" byte patterns for one key.
+
+    The paper's kernel module scans for an arbitrary *set* of named
+    keys (its scan-data file starts with ``num``); accordingly a
+    pattern set is any non-empty name→bytes mapping, and
+    :meth:`combine` merges several keys' sets under prefixed names for
+    multi-key audits (e.g. one machine running both servers).
+    """
+
+    def __init__(self, patterns: Dict[str, bytes], canonical: bool = True) -> None:
+        if not patterns:
+            raise ValueError("pattern set cannot be empty")
+        if canonical:
+            missing = [name for name in PATTERN_NAMES if name not in patterns]
+            if missing:
+                raise ValueError(f"missing patterns: {missing}")
+        for name, pattern in patterns.items():
+            if not pattern:
+                raise ValueError(f"empty pattern {name!r}")
+        self.patterns = dict(patterns)
+
+    @classmethod
+    def combine(cls, named_sets: Dict[str, "KeyPatternSet"]) -> "KeyPatternSet":
+        """Merge several keys' pattern sets: ``{"ssh": s1, "web": s2}``
+        yields patterns named ``ssh.d``, ``web.p``, ..."""
+        merged: Dict[str, bytes] = {}
+        for prefix, pattern_set in named_sets.items():
+            for name, pattern in pattern_set.patterns.items():
+                merged[f"{prefix}.{name}"] = pattern
+        return cls(merged, canonical=False)
+
+    @classmethod
+    def from_key(cls, key: RsaKey, pem: bytes) -> "KeyPatternSet":
+        """Build the pattern set the attacker (who, in the paper's
+        evaluation methodology, knows the key being hunted) uses."""
+        return cls(
+            {
+                "d": key.d_bytes(),
+                "p": key.p_bytes(),
+                "q": key.q_bytes(),
+                "pem": pem_body_probe(pem),
+            }
+        )
+
+    def items(self) -> Iterator[Tuple[str, bytes]]:
+        return iter(self.patterns.items())
+
+    # ------------------------------------------------------------------
+    # searching
+    # ------------------------------------------------------------------
+    def count_in(self, data: bytes) -> Dict[str, int]:
+        """Occurrences of each pattern in ``data``."""
+        return {
+            name: len(find_all_occurrences(data, pattern))
+            for name, pattern in self.patterns.items()
+        }
+
+    def locate_in(self, data: bytes) -> List[Tuple[int, str]]:
+        """All ``(offset, pattern_name)`` hits, sorted by offset."""
+        hits: List[Tuple[int, str]] = []
+        for name, pattern in self.patterns.items():
+            hits.extend((offset, name) for offset in find_all_occurrences(data, pattern))
+        hits.sort()
+        return hits
+
+    def found_in(self, data: bytes) -> bool:
+        """True if *any* pattern appears — a successful attack."""
+        return any(data.find(pattern) != -1 for pattern in self.patterns.values())
+
+
+@dataclass
+class AttackResult:
+    """Outcome of one attack run (one cell of Figures 1-4, 7, 17-18)."""
+
+    #: Occurrences per pattern in the disclosed data.
+    counts: Dict[str, int] = field(default_factory=dict)
+    #: Bytes the attack disclosed.
+    disclosed_bytes: int = 0
+    #: Simulated seconds the attack took.
+    elapsed_s: float = 0.0
+    #: Fraction of RAM covered (n_tty dumps only; None otherwise).
+    coverage: Optional[float] = None
+
+    @property
+    def total_copies(self) -> int:
+        """Total "copies of the private key" found (paper's metric)."""
+        return sum(self.counts.values())
+
+    @property
+    def success(self) -> bool:
+        """The attack recovered the key (any pattern found)."""
+        return self.total_copies > 0

@@ -1,0 +1,87 @@
+"""The scanmemory LKM's user-facing surface: /proc entry + report text.
+
+§3.1: *"the LKM creates a /proc file system entry to facilitate
+communications between scanmemory and a user process.  The scanmemory
+is invoked whenever the newly created /proc file system entry is
+read."*  Its output lines (see the appendix source) look like::
+
+    Request recieved
+    Full match found for d of size 64 bytes at: 000123456, in page: 000030, processes: 5 7
+    Partial match found for q of size 40 bytes at: ...
+
+(The "recieved" spelling is the module's own.)  This module formats a
+:class:`ScanReport` exactly that way and wires a scanner into a
+mounted :class:`~repro.kernel.procfs.ProcFs` so that *reading the
+entry runs the scan*, like reading ``/proc/sshmem`` did.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.attacks.keysearch import KeyPatternSet
+from repro.attacks.scanner import MemoryScanner, ScanMatch, ScanReport
+from repro.errors import FileNotFoundError_
+from repro.kernel.procfs import ProcFs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.kernel import Kernel
+
+
+def format_match(match: ScanMatch) -> str:
+    """One LKM output line for one hit."""
+    kind = "Full" if match.full else "Partial"
+    if match.owners:
+        processes = " ".join(str(pid) for pid in match.owners)
+    else:
+        processes = "none"
+    return (
+        f"{kind} match found for {match.pattern} of size "
+        f"{match.matched_bytes} bytes at: {match.address:09d}, "
+        f"in page: {match.frame:06d}, processes: {processes}"
+    )
+
+
+def format_scan_report(report: ScanReport) -> str:
+    """The full /proc read payload, header included."""
+    lines: List[str] = ["Request recieved"]  # sic — the module's spelling
+    lines += [format_match(match) for match in report.matches]
+    return "\n".join(lines) + "\n"
+
+
+def install_scanmemory(
+    kernel: "Kernel",
+    patterns: KeyPatternSet,
+    procname: str = "sshmem",
+    mountpoint: str = "/proc",
+) -> MemoryScanner:
+    """Load the "module": mount /proc if needed, register the entry.
+
+    Returns the underlying scanner (useful for direct calls).  After
+    this, ``open("/proc/<procname>"); read()`` from any process runs a
+    full memory scan and returns the LKM-formatted report.
+    """
+    try:
+        fs, _ = kernel.vfs.resolve(mountpoint + "/x")
+        if not isinstance(fs, ProcFs):
+            raise FileNotFoundError_(f"{mountpoint} is not a procfs")
+        procfs = fs
+    except FileNotFoundError_:
+        procfs = ProcFs()
+        kernel.vfs.mount(mountpoint, procfs)
+
+    scanner = MemoryScanner(kernel, patterns)
+    procfs.register(
+        procname, lambda: format_scan_report(scanner.scan()).encode("ascii")
+    )
+    return scanner
+
+
+def remove_scanmemory(
+    kernel: "Kernel", procname: str = "sshmem", mountpoint: str = "/proc"
+) -> None:
+    """Unload the module (``remove_proc_entry``)."""
+    fs, _ = kernel.vfs.resolve(mountpoint + "/x")
+    if not isinstance(fs, ProcFs):
+        raise FileNotFoundError_(f"{mountpoint} is not a procfs")
+    fs.unregister(procname)

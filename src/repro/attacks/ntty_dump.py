@@ -1,0 +1,45 @@
+"""The n_tty dump attack ([12], §2).
+
+Exploits the pre-2.6.11 ``n_tty.c`` signedness bug to dump a window of
+physical memory of random location and size — ~50% of RAM on average.
+Because the window covers *allocated and unallocated memory alike*,
+zero-on-free alone cannot stop it; the paper's integrated solution
+reduces the key to a single allocated page, dropping the attack's
+success probability to roughly the dump's coverage fraction
+(Figures 7b and 18).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.attacks.keysearch import AttackResult, KeyPatternSet
+from repro.crypto.randsrc import DeterministicRandom
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.kernel import Kernel
+
+
+class NttyDumpAttack:
+    """Drives the [12] exploit and searches the dump."""
+
+    def __init__(self, kernel: "Kernel", patterns: KeyPatternSet) -> None:
+        self.kernel = kernel
+        self.patterns = patterns
+
+    @property
+    def feasible(self) -> bool:
+        return self.kernel.ntty.vulnerable
+
+    def run(self, rng: DeterministicRandom) -> AttackResult:
+        """One exploitation + search of the dumped window."""
+        start_mark = self.kernel.clock.now_us
+        dump = self.kernel.ntty.dump(rng)
+        counts = self.patterns.count_in(dump.data)
+        elapsed = (self.kernel.clock.now_us - start_mark) / 1e6
+        return AttackResult(
+            counts=counts,
+            disclosed_bytes=dump.length,
+            elapsed_s=elapsed,
+            coverage=dump.coverage,
+        )

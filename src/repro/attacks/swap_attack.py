@@ -1,0 +1,58 @@
+"""Swap-area disclosure (the Provos attack the paper cites).
+
+§4's application-level solution calls ``mlock()`` on the key region
+"because memory that is swapped out is not immediately cleared" and
+"as an added benefit this measure helps prevent swap space based
+attacks".  This module makes both halves measurable:
+
+* an attacker who can read the swap device offline (stolen disk,
+  backup, raw-device access) searches it for key bytes;
+* swapping a page *also* leaves the vacated RAM frame uncleared, so a
+  swapped key is disclosed twice.
+
+The attack drives memory pressure through the kernel's reclaim path
+and then searches the raw swap image — including slots that were
+already released, which are never scrubbed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.attacks.keysearch import AttackResult, KeyPatternSet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.kernel import Kernel
+
+
+class SwapDiskAttack:
+    """Offline search of the swap device for key material."""
+
+    def __init__(self, kernel: "Kernel", patterns: KeyPatternSet) -> None:
+        self.kernel = kernel
+        self.patterns = patterns
+
+    def apply_memory_pressure(self, pages: int) -> int:
+        """Force the kernel to reclaim (swap out) up to ``pages``.
+
+        mlock()ed pages — the aligned key page among them — are never
+        eligible, which is exactly the protection being evaluated.
+        Returns the number of pages actually evicted.
+        """
+        return self.kernel.reclaim_pages(pages)
+
+    def run(self) -> AttackResult:
+        """Read the raw swap image and search it."""
+        start_mark = self.kernel.clock.now_us
+        image = self.kernel.swap.raw_dump()
+        self.kernel.clock.charge_transfer(len(image))  # disk read
+        counts = self.patterns.count_in(image)
+        elapsed = (self.kernel.clock.now_us - start_mark) / 1e6
+        return AttackResult(
+            counts=counts, disclosed_bytes=len(image), elapsed_s=elapsed
+        )
+
+    def run_with_pressure(self, pages: int) -> AttackResult:
+        """Convenience: pressure first, then search."""
+        self.apply_memory_pressure(pages)
+        return self.run()

@@ -1,0 +1,204 @@
+"""Command-line interface: drive the reproduction without writing code.
+
+::
+
+    python -m repro demo                      # quickstart before/after
+    python -m repro attack --server apache --level none --exploit ntty
+    python -m repro timeline --level integrated
+    python -m repro ladder                    # all protection levels
+    python -m repro scan --level none --connections 12
+
+Every command is deterministic for a given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import render_locations, render_timeline
+from repro.analysis.timeline import run_timeline
+from repro.core.protection import ProtectionLevel
+from repro.core.simulation import Simulation, SimulationConfig
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--server", choices=("openssh", "apache"), default="openssh",
+        help="which server to run (default: openssh)",
+    )
+    parser.add_argument(
+        "--level",
+        choices=[level.value for level in ProtectionLevel],
+        default="none",
+        help="protection level to deploy (default: none)",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="experiment seed")
+    parser.add_argument(
+        "--memory-mb", type=int, default=16, help="machine RAM in MB"
+    )
+    parser.add_argument(
+        "--key-bits", type=int, default=1024, help="RSA modulus size"
+    )
+    parser.add_argument(
+        "--connections", type=int, default=12,
+        help="concurrent connections to hold during measurement",
+    )
+
+
+def _build_sim(args: argparse.Namespace) -> Simulation:
+    return Simulation(
+        SimulationConfig(
+            server=args.server,
+            level=ProtectionLevel(args.level),
+            seed=args.seed,
+            memory_mb=args.memory_mb,
+            key_bits=args.key_bits,
+        )
+    )
+
+
+def _loaded_sim(args: argparse.Namespace) -> Simulation:
+    sim = _build_sim(args)
+    sim.start_server()
+    sim.cycle_connections(max(20, 2 * args.connections))
+    sim.hold_connections(args.connections)
+    return sim
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    for level in (ProtectionLevel.NONE, ProtectionLevel.INTEGRATED):
+        args.level = level.value
+        sim = _loaded_sim(args)
+        report = sim.scan()
+        ext2 = sim.run_ext2_attack(800)
+        ntty = sim.run_ntty_attack()
+        print(f"\n[{args.server} @ {level.value}]")
+        print(f"  scanner : {report.total} copies "
+              f"({report.allocated_count} allocated / "
+              f"{report.unallocated_count} unallocated)")
+        print(f"  ext2    : {'EXPOSED' if ext2.success else 'eliminated'} "
+              f"({ext2.total_copies} copies)")
+        print(f"  n_tty   : {'EXPOSED' if ntty.success else 'missed'} "
+              f"({ntty.total_copies} copies at {ntty.coverage:.0%} coverage)")
+    return 0
+
+
+def cmd_attack(args: argparse.Namespace) -> int:
+    sim = _loaded_sim(args)
+    if args.exploit == "ext2":
+        result = sim.run_ext2_attack(args.dirs)
+        print(f"created {args.dirs} directories; disclosed "
+              f"{result.disclosed_bytes // 1024} KB of (stale) kernel memory")
+    elif args.exploit == "ntty":
+        result = sim.run_ntty_attack()
+        print(f"dumped {result.coverage:.0%} of physical memory")
+    else:
+        from repro.attacks.swap_attack import SwapDiskAttack
+
+        attack = SwapDiskAttack(sim.kernel, sim.patterns)
+        evicted = attack.apply_memory_pressure(args.pressure)
+        result = attack.run()
+        print(f"forced {evicted} pages to swap; read the swap device")
+    print(f"key copies found: {result.total_copies}  "
+          f"({'ATTACK SUCCEEDED' if result.success else 'attack failed'})")
+    print(f"per pattern: {result.counts}")
+    return 0 if result.success else 1
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    result = run_timeline(
+        args.server,
+        ProtectionLevel(args.level),
+        seed=args.seed,
+        memory_mb=args.memory_mb,
+        key_bits=args.key_bits,
+        cycles_per_slot=args.cycles_per_slot,
+    )
+    print(render_timeline(result))
+    print()
+    print(render_locations(result))
+    return 0
+
+
+def cmd_ladder(args: argparse.Namespace) -> int:
+    print(f"{args.server}: attack outcomes per protection level")
+    header = f"{'level':>12} | {'copies':>6} | {'ext2':>10} | n_tty (5 dumps)"
+    print(header)
+    print("-" * len(header))
+    for level in ProtectionLevel:
+        args.level = level.value
+        sim = _loaded_sim(args)
+        report = sim.scan()
+        ext2 = sim.run_ext2_attack(600)
+        wins = sum(sim.run_ntty_attack().success for _ in range(5))
+        print(f"{level.value:>12} | {report.total:>6} | "
+              f"{'EXPOSED' if ext2.success else 'eliminated':>10} | {wins}/5")
+    return 0
+
+
+def cmd_scan(args: argparse.Namespace) -> int:
+    sim = _loaded_sim(args)
+    report = sim.scan()
+    print(f"{report.total} key copies in {report.scanned_bytes // (1 << 20)} MB "
+          f"of physical memory")
+    print(f"by pattern: {report.by_pattern()}")
+    print(f"by region : {report.by_region()}")
+    for match in report.matches[: args.limit]:
+        owners = ",".join(map(str, match.owners)) or "-"
+        print(f"  {match.pattern:>4} @ {match.address:#010x} "
+              f"frame {match.frame:>6} {match.region:<13} owners: {owners}")
+    if report.total > args.limit:
+        print(f"  ... and {report.total - args.limit} more")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Protecting Cryptographic Keys from "
+                    "Memory Disclosure Attacks' (DSN 2007)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="quickstart: attacks before/after protection")
+    _add_common(demo)
+    demo.set_defaults(func=cmd_demo)
+
+    attack = sub.add_parser("attack", help="run one exploit against a loaded server")
+    _add_common(attack)
+    attack.add_argument(
+        "--exploit", choices=("ext2", "ntty", "swap"), default="ext2"
+    )
+    attack.add_argument("--dirs", type=int, default=1000,
+                        help="directories to create (ext2 exploit)")
+    attack.add_argument("--pressure", type=int, default=1000,
+                        help="pages to force out (swap exploit)")
+    attack.set_defaults(func=cmd_attack)
+
+    timeline = sub.add_parser("timeline", help="run the paper's 29-step schedule")
+    _add_common(timeline)
+    timeline.add_argument("--cycles-per-slot", type=int, default=2)
+    timeline.set_defaults(func=cmd_timeline)
+
+    ladder = sub.add_parser("ladder", help="compare every protection level")
+    _add_common(ladder)
+    ladder.set_defaults(func=cmd_ladder)
+
+    scan = sub.add_parser("scan", help="scanmemory: locate key copies + owners")
+    _add_common(scan)
+    scan.add_argument("--limit", type=int, default=20,
+                      help="max matches to list individually")
+    scan.set_defaults(func=cmd_scan)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""The paper's contribution: key-protection mechanisms.
+
+* :func:`repro.core.memory_align.rsa_memory_align` — the novel
+  application/library-level mechanism (single mlocked page + COW
+  sharing + cache disable);
+* :class:`repro.core.protection.ProtectionLevel` /
+  :class:`repro.core.protection.ProtectionPolicy` — the four solutions
+  of §4 as deployable configurations;
+* :class:`repro.core.simulation.Simulation` — the one-stop facade a
+  downstream user drives.
+"""
+
+from repro.core.memory_align import rsa_memory_align
+from repro.core.protection import ProtectionLevel, ProtectionPolicy
+from repro.core.simulation import Simulation, SimulationConfig
+
+__all__ = [
+    "ProtectionLevel",
+    "ProtectionPolicy",
+    "Simulation",
+    "SimulationConfig",
+    "rsa_memory_align",
+]

@@ -1,0 +1,50 @@
+"""Offloading a loaded key into the hardware vault.
+
+:func:`offload_to_vault` moves an in-RAM RSA struct's private material
+into the machine's :class:`repro.hw.KeyVault` and scrubs every trace
+from simulated memory.  Afterwards the struct carries only the public
+parameters plus the vault handle; private operations dispatch to the
+device (see ``engine.rsa_private_operation``).
+
+This is the paper's "special hardware" future-work endpoint: after
+offloading, even a 100% memory disclosure recovers nothing.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RsaStructError
+from repro.ssl.bn import bn_clear_free
+from repro.ssl.rsa_st import RsaStruct
+
+
+def offload_to_vault(rsa: RsaStruct) -> int:
+    """Move ``rsa``'s private material into the machine's key vault.
+
+    In-RAM copies are scrubbed on the way out: an aligned region is
+    zeroed and freed, plain BIGNUMs get ``BN_clear_free`` semantics,
+    any Montgomery cache is cleared.  Returns the vault handle.
+    """
+    if rsa.freed:
+        raise RsaStructError("offload of freed RSA struct")
+    if rsa.vault_handle is not None:
+        raise RsaStructError("RSA struct is already offloaded")
+    kernel = rsa.process.kernel
+    if kernel.vault is None:
+        raise RsaStructError("this machine has no key vault fitted")
+
+    handle = kernel.vault.store(rsa.to_key())
+
+    if rsa.bignum_data is not None:
+        total = sum(bn.top for bn in rsa.bn.values())
+        rsa.process.mm.write(rsa.bignum_data, b"\x00" * total)
+        rsa.process.heap.free(rsa.bignum_data, clear=False)
+        rsa.bignum_data = None
+        for bn in rsa.bn.values():
+            bn.freed = True
+    else:
+        for bn in rsa.bn.values():
+            bn_clear_free(bn)
+    rsa.drop_mont(clear=True)
+    rsa.bn = {}
+    rsa.vault_handle = handle
+    return handle

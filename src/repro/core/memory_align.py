@@ -1,0 +1,96 @@
+"""``RSA_memory_align()`` — the paper's novel mechanism (§5.1).
+
+Mirrors the C function in the paper's appendix step for step:
+
+1. ``posix_memalign()`` a dedicated page-aligned region sized for all
+   six CRT parts — a region *no other data will ever share*, so no
+   process ever writes to its page and copy-on-write keeps it a single
+   physical frame across any number of ``fork()``s;
+2. ``mlock()`` it so it can never be swapped out;
+3. copy each part in, **zero the original** digit array, free it, and
+   repoint the BIGNUM at the new location;
+4. set ``BN_FLG_STATIC_DATA`` so the BN layer never frees or
+   reallocates the relocated arrays;
+5. clear ``RSA_FLAG_CACHE_PRIVATE | RSA_FLAG_CACHE_PUBLIC`` so no
+   Montgomery copies of p and q are ever cached again (any existing
+   cache is cleared and dropped).
+
+The paper notes this cannot be replaced by OpenSSL's
+``RSA_memory_lock()``: that function also coalesces the parts, but
+into an ordinary malloc'ed buffer that is neither page-exclusive nor
+pinned, so it neither preserves COW sharing nor prevents swapping.
+``rsa_memory_lock`` below implements it for comparison benches.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RsaStructError
+from repro.ssl.bn import BnFlag
+from repro.ssl.rsa_st import PART_NAMES, RsaFlag, RsaStruct
+
+
+def rsa_memory_align(rsa: RsaStruct) -> int:
+    """Apply the paper's alignment to ``rsa``; returns the region address.
+
+    Idempotent in effect but intentionally strict: aligning twice is a
+    caller bug and raises.
+    """
+    if rsa.freed:
+        raise RsaStructError("align of freed RSA struct")
+    if rsa.aligned:
+        raise RsaStructError("RSA struct is already aligned")
+    process = rsa.process
+    page_size = process.kernel.physmem.page_size
+
+    total = sum(rsa.bn[name].top for name in PART_NAMES)
+    region = process.heap.memalign(page_size, total)
+    process.mm.mlock(region, total)
+
+    cursor = region
+    for name in PART_NAMES:
+        bn = rsa.bn[name]
+        data = bn.to_bytes()
+        process.mm.write(cursor, data)
+        # memset(b->d, 0, ...); free(b->d);
+        process.mm.write(bn.addr, b"\x00" * bn.top)
+        process.heap.free(bn.addr, clear=False)
+        bn.repoint(cursor, BnFlag.STATIC_DATA)
+        cursor += bn.top
+
+    rsa.bignum_data = region
+    rsa.flags &= ~(RsaFlag.CACHE_PRIVATE | RsaFlag.CACHE_PUBLIC)
+    # Any Montgomery contexts built before alignment hold p/q copies;
+    # clear them on the way out (stock BN_MONT_CTX_free would not).
+    rsa.drop_mont(clear=True)
+    return region
+
+
+def rsa_memory_lock(rsa: RsaStruct) -> int:
+    """OpenSSL's stock ``RSA_memory_lock()``, for the comparison bench.
+
+    Coalesces the six parts into one *ordinary* heap buffer: the
+    originals are freed **without clearing**, the buffer shares pages
+    with other heap data, and nothing is mlocked.  It therefore leaves
+    stale copies behind and does not preserve COW sharing — the reason
+    the paper wrote ``RSA_memory_align`` instead.
+    """
+    if rsa.freed:
+        raise RsaStructError("lock of freed RSA struct")
+    if rsa.aligned:
+        raise RsaStructError("RSA struct is already coalesced")
+    process = rsa.process
+
+    total = sum(rsa.bn[name].top for name in PART_NAMES)
+    region = process.heap.malloc(total)
+
+    cursor = region
+    for name in PART_NAMES:
+        bn = rsa.bn[name]
+        data = bn.to_bytes()
+        process.mm.write(cursor, data)
+        process.heap.free(bn.addr, clear=False)  # stale copy left behind
+        bn.repoint(cursor, BnFlag.STATIC_DATA)
+        cursor += bn.top
+
+    rsa.bignum_data = region
+    return region

@@ -1,0 +1,138 @@
+"""The four countermeasure deployments of §4 as configuration.
+
+===============  =========  =========  ==============  =========
+Level            align at   align by   kernel patches  O_NOCACHE
+===============  =========  =========  ==============  =========
+NONE             —          —          no              no
+APPLICATION      app code   server     no              no
+LIBRARY          d2i hook   library    no              no
+KERNEL           —          —          yes             no
+INTEGRATED       d2i hook   library    yes             yes
+===============  =========  =========  ==============  =========
+
+Application and library level differ only in *who* calls
+``RSA_memory_align`` (the server after key load vs. the library inside
+``d2i_PrivateKey``); the resulting memory state is the same, which is
+why Figures 9/11 and 21/23 look identical.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.kernel.kernel import KernelConfig
+
+
+class ProtectionLevel(enum.Enum):
+    """Which of the paper's solutions is deployed."""
+
+    NONE = "none"
+    APPLICATION = "application"
+    LIBRARY = "library"
+    KERNEL = "kernel"
+    INTEGRATED = "integrated"
+    #: Extension (§7 future work): integrated + a hardware key vault.
+    HARDWARE = "hardware"
+
+
+@dataclass(frozen=True)
+class ProtectionPolicy:
+    """Concrete switch settings for one protection level."""
+
+    level: ProtectionLevel
+    #: Server code calls RSA_memory_align after loading the key.
+    app_align: bool
+    #: d2i_PrivateKey calls RSA_memory_align itself.
+    lib_align: bool
+    #: Kernel clears pages on free + last-reference unmap.
+    kernel_zero: bool
+    #: Library opens the key file O_NOCACHE (needs a patched kernel).
+    o_nocache: bool
+    #: Run sshd with -r (no re-exec per connection).  The paper starts
+    #: the *protected* server this way; the baseline re-executes.
+    sshd_no_reexec: bool
+    #: Offload the private key into the hardware vault after loading
+    #: (the paper's "special hardware is necessary" endpoint).
+    hw_vault: bool = False
+
+    @property
+    def align_on_load(self) -> bool:
+        """The key ends up aligned, whoever triggers it."""
+        return self.app_align or self.lib_align
+
+
+_POLICIES = {
+    ProtectionLevel.NONE: ProtectionPolicy(
+        level=ProtectionLevel.NONE,
+        app_align=False,
+        lib_align=False,
+        kernel_zero=False,
+        o_nocache=False,
+        sshd_no_reexec=False,
+    ),
+    ProtectionLevel.APPLICATION: ProtectionPolicy(
+        level=ProtectionLevel.APPLICATION,
+        app_align=True,
+        lib_align=False,
+        kernel_zero=False,
+        o_nocache=False,
+        sshd_no_reexec=True,
+    ),
+    ProtectionLevel.LIBRARY: ProtectionPolicy(
+        level=ProtectionLevel.LIBRARY,
+        app_align=False,
+        lib_align=True,
+        kernel_zero=False,
+        o_nocache=False,
+        sshd_no_reexec=True,
+    ),
+    ProtectionLevel.KERNEL: ProtectionPolicy(
+        level=ProtectionLevel.KERNEL,
+        app_align=False,
+        lib_align=False,
+        kernel_zero=True,
+        o_nocache=False,
+        sshd_no_reexec=False,
+    ),
+    ProtectionLevel.INTEGRATED: ProtectionPolicy(
+        level=ProtectionLevel.INTEGRATED,
+        app_align=False,
+        lib_align=True,
+        kernel_zero=True,
+        o_nocache=True,
+        sshd_no_reexec=True,
+    ),
+    ProtectionLevel.HARDWARE: ProtectionPolicy(
+        level=ProtectionLevel.HARDWARE,
+        app_align=False,
+        lib_align=True,
+        kernel_zero=True,
+        o_nocache=True,
+        sshd_no_reexec=True,
+        hw_vault=True,
+    ),
+}
+
+
+def policy_for(level: ProtectionLevel) -> ProtectionPolicy:
+    """The paper's switch settings for ``level``."""
+    return _POLICIES[level]
+
+
+def kernel_config_for(
+    policy: ProtectionPolicy, memory_mb: int = 16, version=(2, 6, 10)
+) -> KernelConfig:
+    """Build the kernel configuration a policy requires.
+
+    The base version stays vulnerable (the paper re-runs the attacks on
+    the same 2.6.10 kernel, patched only with its countermeasures).
+    """
+    return KernelConfig(
+        version=version,
+        memory_mb=memory_mb,
+        zero_on_free=policy.kernel_zero,
+        zero_on_unmap=policy.kernel_zero,
+        o_nocache_supported=policy.o_nocache,
+        has_key_vault=policy.hw_vault,
+    )

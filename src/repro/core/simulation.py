@@ -1,0 +1,204 @@
+"""The one-stop facade: a booted machine + server + attack surface.
+
+A :class:`Simulation` is what a downstream user (and every example,
+test and benchmark in this repository) drives:
+
+>>> sim = Simulation(SimulationConfig(server="openssh"))
+>>> sim.start_server()
+>>> sim.hold_connections(16)
+>>> report = sim.scan()                      # the scanmemory view
+>>> result = sim.run_ntty_attack()           # the [12] exploit
+>>> result.success
+True
+
+It owns the deterministic RNG streams, generates the RSA key, writes
+the PEM file onto the configured root filesystem, boots a kernel whose
+patches match the protection level, and instantiates the right server.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.apps.httpd import ApacheConfig, ApacheServer
+from repro.apps.sshd import OpenSSHServer, SshdConfig
+from repro.attacks.ext2_dirleak import Ext2DirLeakAttack
+from repro.attacks.keysearch import AttackResult, KeyPatternSet
+from repro.attacks.ntty_dump import NttyDumpAttack
+from repro.attacks.scanner import MemoryScanner, ScanReport
+from repro.core.protection import (
+    ProtectionLevel,
+    ProtectionPolicy,
+    kernel_config_for,
+    policy_for,
+)
+from repro.crypto.asn1 import encode_rsa_private_key
+from repro.crypto.pem import pem_encode
+from repro.crypto.randsrc import DeterministicRandom
+from repro.crypto.rsa import RsaKey, generate_rsa_key
+from repro.errors import WorkloadError
+from repro.kernel.fs import SimFileSystem
+from repro.kernel.kernel import Kernel
+
+SSH_KEY_PATH = "/etc/ssh/ssh_host_rsa_key"
+APACHE_KEY_PATH = "/etc/apache2/ssl/server.key"
+
+
+@dataclass
+class SimulationConfig:
+    """Everything that defines one experiment run."""
+
+    #: "openssh" or "apache".
+    server: str = "openssh"
+    level: ProtectionLevel = ProtectionLevel.NONE
+    memory_mb: int = 16
+    key_bits: int = 1024
+    seed: int = 0
+    #: Root filesystem personality.  The paper's baseline runs had the
+    #: key on Reiser (eagerly cached); the mitigated runs moved it to
+    #: ext2 "to avoid the additional caching".  ``None`` picks exactly
+    #: that per-level default.
+    root_fstype: Optional[str] = None
+    #: Age the allocator at boot so allocations spread across RAM like
+    #: the paper's long-running testbed (see Kernel.age_memory).
+    age_memory: bool = True
+    #: Fraction of churned frames pinned by unrelated system activity.
+    age_hold_fraction: float = 0.30
+    #: Field overrides applied to the derived KernelConfig — for
+    #: comparison experiments that need machine settings outside the
+    #: paper's five protection levels (e.g. Chow-style secure
+    #: deallocation: ``{"zero_on_free": True, "zero_on_unmap": True,
+    #: "heap_clear_on_free": True}``).
+    kernel_overrides: Optional[dict] = None
+
+    def effective_root_fstype(self) -> str:
+        if self.root_fstype is not None:
+            return self.root_fstype
+        return "reiser" if self.level == ProtectionLevel.NONE else "ext2"
+
+
+class Simulation:
+    """A booted machine with one protected-or-not server installed."""
+
+    def __init__(self, config: Optional[SimulationConfig] = None) -> None:
+        self.config = config if config is not None else SimulationConfig()
+        if self.config.server not in ("openssh", "apache"):
+            raise WorkloadError(f"unknown server {self.config.server!r}")
+
+        root_rng = DeterministicRandom(self.config.seed)
+        self.keygen_rng = root_rng.fork_stream("keygen")
+        self.workload_rng = root_rng.fork_stream("workload")
+        self.attack_rng = root_rng.fork_stream("attack")
+
+        self.policy: ProtectionPolicy = policy_for(self.config.level)
+        kernel_config = kernel_config_for(self.policy, memory_mb=self.config.memory_mb)
+        if self.config.kernel_overrides:
+            kernel_config = dataclasses.replace(
+                kernel_config, **self.config.kernel_overrides
+            )
+        self.kernel = Kernel(kernel_config)
+        if self.config.age_memory:
+            self.kernel.age_memory(
+                root_rng.fork_stream("aging"),
+                hold_fraction=self.config.age_hold_fraction,
+            )
+
+        # Key material + PEM file on the root filesystem.
+        self.key: RsaKey = generate_rsa_key(self.config.key_bits, self.keygen_rng)
+        der = encode_rsa_private_key(
+            self.key.n, self.key.e, self.key.d, self.key.p, self.key.q,
+            self.key.dmp1, self.key.dmq1, self.key.iqmp,
+        )
+        self.pem: bytes = pem_encode(der)
+        self.patterns = KeyPatternSet.from_key(self.key, self.pem)
+
+        key_path = SSH_KEY_PATH if self.config.server == "openssh" else APACHE_KEY_PATH
+        self.root_fs = SimFileSystem(
+            self.config.effective_root_fstype(), label="root"
+        )
+        self._create_parents(key_path)
+        self.root_fs.create_file(key_path, self.pem)
+        self.kernel.vfs.mount("/", self.root_fs)
+
+        self.server: Union[OpenSSHServer, ApacheServer]
+        if self.config.server == "openssh":
+            self.server = OpenSSHServer(
+                self.kernel,
+                SshdConfig.for_policy(self.policy, key_path=key_path),
+                rng=self.workload_rng,
+            )
+        else:
+            self.server = ApacheServer(
+                self.kernel,
+                ApacheConfig.for_policy(self.policy, key_path=key_path),
+                rng=self.workload_rng,
+            )
+
+        self._scanner = MemoryScanner(self.kernel, self.patterns)
+        self._dirleak: Optional[Ext2DirLeakAttack] = None
+        self._ntty = NttyDumpAttack(self.kernel, self.patterns)
+
+    def _create_parents(self, path: str) -> None:
+        parts = path.strip("/").split("/")[:-1]
+        current = ""
+        for part in parts:
+            current = f"{current}/{part}" if current else part
+            if current not in self.root_fs.dirs:
+                self.root_fs.dirs.add(current)
+
+    # ------------------------------------------------------------------
+    # server driving
+    # ------------------------------------------------------------------
+    def start_server(self) -> None:
+        self.server.start()
+
+    def stop_server(self) -> None:
+        self.server.stop()
+
+    def cycle_connections(self, count: int, transfer_bytes: int = 100 * 1024) -> None:
+        """Open→transfer→close ``count`` sequential sessions/requests."""
+        if isinstance(self.server, OpenSSHServer):
+            for _ in range(count):
+                self.server.run_connection_cycle(transfer_bytes)
+        else:
+            self.server.ensure_pool(1)
+            for _ in range(count):
+                self.server.handle_request(transfer_bytes)
+
+    def hold_connections(self, concurrent: int) -> None:
+        """Bring the server to ``concurrent`` simultaneous sessions.
+
+        For Apache this sizes the prefork pool and puts one handshake
+        through every worker (an in-flight request per connection).
+        """
+        if isinstance(self.server, OpenSSHServer):
+            self.server.set_concurrency(concurrent)
+        else:
+            self.server.ensure_pool(concurrent)
+            for _ in range(concurrent):
+                self.server.handle_request(16 * 1024)
+
+    # ------------------------------------------------------------------
+    # measurement & attacks
+    # ------------------------------------------------------------------
+    def scan(self) -> ScanReport:
+        """Run the scanmemory analog over all of RAM."""
+        return self._scanner.scan()
+
+    def run_ext2_attack(self, num_dirs: int = 1000) -> AttackResult:
+        """The [17] directory-leak attack (lazily mounts the USB stick)."""
+        if self._dirleak is None:
+            self._dirleak = Ext2DirLeakAttack(self.kernel, self.patterns)
+        return self._dirleak.run(num_dirs)
+
+    def run_ntty_attack(self) -> AttackResult:
+        """The [12] random-window dump attack."""
+        return self._ntty.run(self.attack_rng)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Simulation(server={self.config.server!r}, "
+            f"level={self.config.level.value}, seed={self.config.seed})"
+        )

@@ -1,0 +1,133 @@
+"""Minimal DER (ASN.1) codec for PKCS#1 ``RSAPrivateKey``.
+
+Only the pieces PKCS#1 needs: INTEGER and SEQUENCE, with definite
+lengths.  The encoding is byte-exact DER — minimal two's-complement
+integers, minimal length octets — so the DER blob produced here is a
+realistic search target: it embeds the raw big-endian bytes of d, p
+and q, which is why a stray parse buffer in memory counts as a full
+key copy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import EncodingError
+
+TAG_INTEGER = 0x02
+TAG_SEQUENCE = 0x30
+
+
+# ----------------------------------------------------------------------
+# encoding
+# ----------------------------------------------------------------------
+def _encode_length(length: int) -> bytes:
+    if length < 0:
+        raise EncodingError("negative length")
+    if length < 0x80:
+        return bytes([length])
+    body = length.to_bytes((length.bit_length() + 7) // 8, "big")
+    return bytes([0x80 | len(body)]) + body
+
+
+def encode_integer(value: int) -> bytes:
+    """DER INTEGER (non-negative values only, as PKCS#1 uses)."""
+    if value < 0:
+        raise EncodingError("negative INTEGER not supported")
+    if value == 0:
+        body = b"\x00"
+    else:
+        body = value.to_bytes((value.bit_length() + 7) // 8, "big")
+        if body[0] & 0x80:
+            body = b"\x00" + body  # keep it positive
+    return bytes([TAG_INTEGER]) + _encode_length(len(body)) + body
+
+
+def encode_sequence(*members: bytes) -> bytes:
+    body = b"".join(members)
+    return bytes([TAG_SEQUENCE]) + _encode_length(len(body)) + body
+
+
+# ----------------------------------------------------------------------
+# decoding
+# ----------------------------------------------------------------------
+def _decode_length(data: bytes, pos: int) -> Tuple[int, int]:
+    if pos >= len(data):
+        raise EncodingError("truncated length")
+    first = data[pos]
+    pos += 1
+    if first < 0x80:
+        return first, pos
+    count = first & 0x7F
+    if count == 0 or pos + count > len(data):
+        raise EncodingError("bad long-form length")
+    length = int.from_bytes(data[pos : pos + count], "big")
+    if length < 0x80 and count == 1:
+        raise EncodingError("non-minimal length encoding")
+    return length, pos + count
+
+
+def _expect_tag(data: bytes, pos: int, tag: int) -> Tuple[int, int]:
+    if pos >= len(data):
+        raise EncodingError("truncated TLV")
+    if data[pos] != tag:
+        raise EncodingError(f"expected tag {tag:#x}, found {data[pos]:#x} at offset {pos}")
+    return _decode_length(data, pos + 1)
+
+
+def decode_integer(data: bytes, pos: int) -> Tuple[int, int]:
+    """Decode one INTEGER at ``pos``; returns ``(value, next_pos)``."""
+    length, pos = _expect_tag(data, pos, TAG_INTEGER)
+    if length == 0 or pos + length > len(data):
+        raise EncodingError("bad INTEGER body")
+    body = data[pos : pos + length]
+    if len(body) > 1 and body[0] == 0 and not body[1] & 0x80:
+        raise EncodingError("non-minimal INTEGER encoding")
+    if body[0] & 0x80:
+        raise EncodingError("negative INTEGER not supported")
+    return int.from_bytes(body, "big"), pos + length
+
+
+def decode_sequence(data: bytes, pos: int = 0) -> Tuple[bytes, int]:
+    """Decode a SEQUENCE header; returns ``(body, next_pos)``."""
+    length, pos = _expect_tag(data, pos, TAG_SEQUENCE)
+    if pos + length > len(data):
+        raise EncodingError("truncated SEQUENCE body")
+    return data[pos : pos + length], pos + length
+
+
+# ----------------------------------------------------------------------
+# RSAPrivateKey (PKCS#1, RFC 3447 appendix A.1.2)
+# ----------------------------------------------------------------------
+def encode_rsa_private_key(
+    n: int, e: int, d: int, p: int, q: int, dmp1: int, dmq1: int, iqmp: int
+) -> bytes:
+    """DER-encode the nine-field RSAPrivateKey structure (version 0)."""
+    return encode_sequence(
+        encode_integer(0),  # version: two-prime
+        encode_integer(n),
+        encode_integer(e),
+        encode_integer(d),
+        encode_integer(p),
+        encode_integer(q),
+        encode_integer(dmp1),
+        encode_integer(dmq1),
+        encode_integer(iqmp),
+    )
+
+
+def decode_rsa_private_key(der: bytes) -> List[int]:
+    """Decode RSAPrivateKey; returns ``[n, e, d, p, q, dmp1, dmq1, iqmp]``."""
+    body, end = decode_sequence(der, 0)
+    if end != len(der):
+        raise EncodingError("trailing bytes after RSAPrivateKey")
+    values: List[int] = []
+    pos = 0
+    for _ in range(9):
+        value, pos = decode_integer(body, pos)
+        values.append(value)
+    if pos != len(body):
+        raise EncodingError("trailing bytes inside RSAPrivateKey")
+    if values[0] != 0:
+        raise EncodingError(f"unsupported RSAPrivateKey version {values[0]}")
+    return values[1:]

@@ -1,0 +1,99 @@
+"""Primality testing and prime generation (Miller–Rabin).
+
+Deterministic witness sets make the test exact for every integer below
+3.3 * 10^24; above that we add seeded random rounds, giving an error
+probability below 4^-40 — more than enough for simulation keys.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.crypto.randsrc import DeterministicRandom
+from repro.errors import KeyGenerationError
+
+#: Small primes for fast trial division before Miller–Rabin.
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61,
+    67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137,
+    139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+)
+
+#: Deterministic witnesses valid for n < 3,317,044,064,679,887,385,961,981.
+_DETERMINISTIC_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+_DETERMINISTIC_LIMIT = 3_317_044_064_679_887_385_961_981
+
+#: Extra random rounds for very large candidates.
+_RANDOM_ROUNDS = 40
+
+#: Give up after this many candidates per generate_prime call.
+_MAX_ATTEMPTS = 100_000
+
+
+def _miller_rabin_round(n: int, a: int, d: int, r: int) -> bool:
+    """One Miller–Rabin round; True means "possibly prime"."""
+    x = pow(a, d, n)
+    if x in (1, n - 1):
+        return True
+    for _ in range(r - 1):
+        x = (x * x) % n
+        if x == n - 1:
+            return True
+    return False
+
+
+def is_probable_prime(n: int, rng: Optional[DeterministicRandom] = None) -> bool:
+    """Miller–Rabin primality test.
+
+    Exact below the deterministic-witness limit; probabilistic (with
+    ``rng``-seeded witnesses) above it.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+
+    witnesses: Iterable[int]
+    if n < _DETERMINISTIC_LIMIT:
+        witnesses = _DETERMINISTIC_WITNESSES
+    else:
+        rng = rng if rng is not None else DeterministicRandom(n & 0xFFFF_FFFF)
+        witnesses = tuple(
+            rng.randrange(2, n - 1) for _ in range(_RANDOM_ROUNDS)
+        )
+    for a in witnesses:
+        a %= n
+        if a < 2:
+            continue
+        if not _miller_rabin_round(n, a, d, r):
+            return False
+    return True
+
+
+def generate_prime(
+    bits: int,
+    rng: DeterministicRandom,
+    avoid: Optional[int] = None,
+) -> int:
+    """Generate a ``bits``-bit prime with the top two bits set.
+
+    ``avoid`` rejects a specific value (used so q != p).
+    """
+    if bits < 8:
+        raise KeyGenerationError(f"prime size {bits} bits is too small")
+    for _ in range(_MAX_ATTEMPTS):
+        candidate = rng.random_odd_int(bits)
+        if candidate == avoid:
+            continue
+        if is_probable_prime(candidate, rng):
+            return candidate
+    raise KeyGenerationError(f"failed to find a {bits}-bit prime")

@@ -1,0 +1,5 @@
+"""Hardware devices: the key vault the paper's conclusion calls for."""
+
+from repro.hw.keyvault import VAULT_OP_US, KeyVault
+
+__all__ = ["KeyVault", "VAULT_OP_US"]

@@ -1,0 +1,26 @@
+"""Operating-system kernel substrate.
+
+Models the pieces of a 2.6-era Linux kernel the paper touches: virtual
+memory with copy-on-write ``fork()``, the page cache, a VFS with two
+filesystem personalities (a leaky ext2 and an eagerly-caching reiser),
+the vulnerable ``n_tty`` read path, and the patch points for the
+paper's kernel-level countermeasures.
+"""
+
+from repro.kernel.clock import CostModel, SimClock
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.kernel.process import Process
+from repro.kernel.syscalls import SyscallInterface
+from repro.kernel.vm import AddressSpace, Vma, VmaFlag
+
+__all__ = [
+    "AddressSpace",
+    "CostModel",
+    "Kernel",
+    "KernelConfig",
+    "Process",
+    "SimClock",
+    "SyscallInterface",
+    "Vma",
+    "VmaFlag",
+]

@@ -1,0 +1,136 @@
+"""The page cache: file data resident in kernel memory.
+
+The PEM-encoded private key file is the longest-lived key copy the
+paper finds: it enters the page cache the first time anything reads the
+key file (or even at mount time under an eagerly-caching filesystem)
+and stays there until the end of the experiment — surviving server
+shutdown (Figure 5, observation (5)).
+
+The integrated library–kernel solution adds the ``O_NOCACHE`` open
+flag: after a read, the file's cache pages are removed, cleared with
+``clear_highpage()`` and freed (the paper's ``filemap.c`` patch) —
+implemented here by :meth:`PageCache.evict_file`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from repro.mem.page import PageFlag
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.fs import SimFile
+    from repro.kernel.kernel import Kernel
+
+
+class PageCache:
+    """Maps ``(file_id, page_index)`` to resident physical frames."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+        self._pages: Dict[Tuple[int, int], int] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # population
+    # ------------------------------------------------------------------
+    def _load_page(self, file: "SimFile", index: int) -> int:
+        key = (file.file_id, index)
+        frame = self._pages.get(key)
+        if frame is not None:
+            self.hits += 1
+            return frame
+        self.misses += 1
+        page_size = self.kernel.physmem.page_size
+        frame = self.kernel.buddy.alloc_pages(0, PageFlag.PAGECACHE)
+        # Real page-cache reads zero the tail of a partial final page,
+        # so a cache page never exposes stale data of its own.
+        self.kernel.physmem.clear_frame(frame)
+        start = index * page_size
+        chunk = bytes(file.data[start : start + page_size])
+        if chunk:
+            self.kernel.physmem.write_frame(frame, chunk)
+        page = self.kernel.buddy.pages[frame]
+        page.mapping = key
+        self._pages[key] = frame
+        self.kernel.clock.charge_disk_read()
+        return frame
+
+    def preload(self, file: "SimFile") -> List[int]:
+        """Bring every page of ``file`` into the cache (readahead /
+        eager-caching filesystems).  Returns the frames used."""
+        return [self._load_page(file, idx) for idx in range(self._page_count(file))]
+
+    def _page_count(self, file: "SimFile") -> int:
+        page_size = self.kernel.physmem.page_size
+        return max(1, -(-len(file.data) // page_size))
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def read(self, file: "SimFile", offset: int, length: int) -> bytes:
+        """Read through the cache; populates missing pages.
+
+        Transient pseudo-files (procfs entries) bypass the cache
+        entirely, as real /proc reads do."""
+        if offset < 0 or length < 0:
+            raise ValueError("negative offset or length")
+        if getattr(file, "transient", False):
+            end = min(offset + length, len(file.data))
+            return bytes(file.data[offset:end]) if offset < end else b""
+        end = min(offset + length, len(file.data))
+        if offset >= end:
+            return b""
+        page_size = self.kernel.physmem.page_size
+        out = bytearray()
+        pos = offset
+        while pos < end:
+            index = pos // page_size
+            frame = self._load_page(file, index)
+            page_off = pos % page_size
+            chunk = min(end - pos, page_size - page_off)
+            out += self.kernel.physmem.read(frame * page_size + page_off, chunk)
+            pos += chunk
+        return bytes(out)
+
+    # ------------------------------------------------------------------
+    # invalidation / the O_NOCACHE patch
+    # ------------------------------------------------------------------
+    def evict_file(self, file_id: int, clear: bool = True) -> int:
+        """Drop every cached page of ``file_id``.
+
+        ``clear=True`` reproduces the paper's patch, which calls
+        ``clear_highpage()`` before ``__free_pages()`` so the PEM bytes
+        cannot linger in unallocated memory even on an otherwise
+        unpatched kernel.  Returns the number of pages evicted.
+        """
+        victims = [key for key in self._pages if key[0] == file_id]
+        for key in victims:
+            frame = self._pages.pop(key)
+            page = self.kernel.buddy.pages[frame]
+            page.mapping = None
+            if clear:
+                self.kernel.physmem.clear_frame(frame)
+                self.kernel.clock.charge_page_clear()
+            self.kernel.buddy.free_pages(frame)
+        return len(victims)
+
+    def invalidate(self, file_id: int) -> int:
+        """Plain invalidation (no clearing) — used on file writes."""
+        return self.evict_file(file_id, clear=False)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def contains_file(self, file_id: int) -> bool:
+        return any(key[0] == file_id for key in self._pages)
+
+    def frames_of(self, file_id: int) -> List[int]:
+        return [frame for key, frame in self._pages.items() if key[0] == file_id]
+
+    def resident_pages(self) -> int:
+        return len(self._pages)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PageCache(pages={len(self._pages)}, hits={self.hits}, misses={self.misses})"

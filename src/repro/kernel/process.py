@@ -1,0 +1,216 @@
+"""Processes and the user-space heap allocator.
+
+The heap model is what makes the copy-flooding of Figures 5 and 6
+faithful: a C ``malloc``/``free`` pair where *freeing never clears*.
+A freed chunk keeps its bytes inside still-mapped heap pages (an
+"allocated memory" copy in the paper's terminology) until either the
+chunk is reused and overwritten, or the process exits and the pages
+drain — uncleared — into the free-page pool ("unallocated memory"
+copies).
+
+``memalign`` is the substrate for ``RSA_memory_align()``: it hands out
+whole, exclusively-owned, page-aligned regions so the key page is never
+co-located with mutable data and COW sharing survives forever.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.errors import BadAddressError, ProcessError
+from repro.kernel.vm import HEAP_BASE, AddressSpace, Vma, VmaFlag
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.vfs import OpenFile
+
+#: malloc alignment, as in glibc.
+CHUNK_ALIGN = 16
+
+
+class UserHeap:
+    """A C-style allocator over one process's heap VMA.
+
+    * exact-size LIFO free lists — freed chunks are reused most
+      recently freed first, exactly the reuse pattern that overwrites
+      stale secrets *sometimes* but not reliably;
+    * ``free`` leaves the chunk's bytes untouched unless
+      :attr:`clear_on_free` is set (the Viega "clear sensitive data"
+      practice, available for ablation);
+    * ``memalign`` carves dedicated page-aligned regions.
+    """
+
+    def __init__(self, process: "Process") -> None:
+        self.process = process
+        self.vma: Optional[Vma] = None
+        self._brk = HEAP_BASE
+        self._free: Dict[int, List[int]] = {}
+        self._size_of: Dict[int, int] = {}
+        #: If True, free() zeroes the chunk first.  Defaults from the
+        #: kernel config so Chow-style secure deallocation can be
+        #: deployed machine-wide for comparison experiments.
+        self.clear_on_free = process.kernel.config.heap_clear_on_free
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _align(size: int, alignment: int = CHUNK_ALIGN) -> int:
+        return (size + alignment - 1) & ~(alignment - 1)
+
+    def malloc(self, size: int) -> int:
+        """Allocate ``size`` bytes; returns the user virtual address."""
+        if size <= 0:
+            raise ValueError("malloc size must be positive")
+        size = self._align(size)
+        bucket = self._free.get(size)
+        if bucket:
+            addr = bucket.pop()
+        else:
+            addr = self._extend(size)
+        self._size_of[addr] = size
+        return addr
+
+    def memalign(self, alignment: int, size: int) -> int:
+        """``posix_memalign``: page-aligned, exclusively-owned region.
+
+        The returned region occupies whole pages that no other chunk
+        will ever share — the precondition for the COW trick.
+        """
+        if alignment <= 0 or alignment & (alignment - 1):
+            raise ValueError("alignment must be a positive power of two")
+        page_size = self.process.kernel.physmem.page_size
+        alignment = max(alignment, page_size)
+        size = self._align(size, alignment)
+        # Round the break up to the alignment, wasting the gap, so the
+        # region starts on its own page.
+        aligned_brk = (self._brk + alignment - 1) & ~(alignment - 1)
+        gap = aligned_brk - self._brk
+        if gap:
+            self._extend(gap)  # discard the filler
+        addr = self._extend(size)
+        self._size_of[addr] = size
+        return addr
+
+    def _extend(self, size: int) -> int:
+        addr = self._brk
+        new_brk = self._brk + size
+        self._ensure_heap_vma(new_brk)
+        self._brk = new_brk
+        return addr
+
+    def _ensure_heap_vma(self, new_brk: int) -> None:
+        mm = self.process.mm
+        if self.vma is None:
+            length = mm._round_up(new_brk - HEAP_BASE)
+            self.vma = mm.mmap_anon(
+                max(length, mm.page_size),
+                VmaFlag.READ | VmaFlag.WRITE,
+                name="[heap]",
+                addr=HEAP_BASE,
+            )
+        elif new_brk > self.vma.end:
+            mm.expand_vma(self.vma, new_brk)
+
+    # ------------------------------------------------------------------
+    # freeing
+    # ------------------------------------------------------------------
+    def free(self, addr: int, clear: Optional[bool] = None) -> None:
+        """Release a chunk.
+
+        ``clear`` overrides :attr:`clear_on_free` for this call; pass
+        ``True`` for the ``memset(...); free(...)`` idiom the paper's
+        ``RSA_memory_align`` applies to the original key buffers.
+        """
+        size = self._size_of.pop(addr, None)
+        if size is None:
+            raise BadAddressError(f"free of unallocated heap address {addr:#x}")
+        do_clear = self.clear_on_free if clear is None else clear
+        if do_clear:
+            self.process.mm.write(addr, b"\x00" * size)
+        self._free.setdefault(size, []).append(addr)
+
+    def size_of(self, addr: int) -> int:
+        """Size of a live chunk (malloc bookkeeping)."""
+        try:
+            return self._size_of[addr]
+        except KeyError:
+            raise BadAddressError(f"address {addr:#x} is not a live chunk") from None
+
+    def live_chunks(self) -> int:
+        return len(self._size_of)
+
+    def clone_into(self, other: "UserHeap") -> None:
+        """Duplicate allocator metadata across ``fork()``."""
+        other._brk = self._brk
+        other._free = {size: list(addrs) for size, addrs in self._free.items()}
+        other._size_of = dict(self._size_of)
+        other.clear_on_free = self.clear_on_free
+        # The child's heap VMA object was created by fork_into; find it.
+        for vma in other.process.mm.vmas:
+            if vma.name == "[heap]":
+                other.vma = vma
+                break
+
+    # ------------------------------------------------------------------
+    # convenience data access
+    # ------------------------------------------------------------------
+    def write(self, addr: int, data: bytes) -> None:
+        if len(data) > self._size_of.get(addr, len(data)):
+            raise BadAddressError("write larger than chunk")
+        self.process.mm.write(addr, data)
+
+    def read(self, addr: int, length: int) -> bytes:
+        return self.process.mm.read(addr, length)
+
+
+class Process:
+    """One simulated process."""
+
+    def __init__(self, kernel: "Kernel", pid: int, name: str, parent: Optional["Process"]) -> None:
+        self.kernel = kernel
+        self.pid = pid
+        self.name = name
+        self.parent = parent
+        self.children: List["Process"] = []
+        self.mm = AddressSpace(kernel)
+        self.heap = UserHeap(self)
+        self.fds: Dict[int, "OpenFile"] = {}
+        self._next_fd = 3
+        self.state = "running"
+        self.exit_code: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # fd table
+    # ------------------------------------------------------------------
+    def install_fd(self, open_file: "OpenFile") -> int:
+        fd = self._next_fd
+        self._next_fd += 1
+        self.fds[fd] = open_file
+        return fd
+
+    def lookup_fd(self, fd: int) -> "OpenFile":
+        try:
+            return self.fds[fd]
+        except KeyError:
+            raise ProcessError(f"pid {self.pid}: bad file descriptor {fd}") from None
+
+    def remove_fd(self, fd: int) -> "OpenFile":
+        try:
+            return self.fds.pop(fd)
+        except KeyError:
+            raise ProcessError(f"pid {self.pid}: bad file descriptor {fd}") from None
+
+    # ------------------------------------------------------------------
+    # lifecycle helpers (the kernel drives the heavy lifting)
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return self.state == "running"
+
+    def require_alive(self) -> None:
+        if not self.alive:
+            raise ProcessError(f"pid {self.pid} is not running (state={self.state})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Process(pid={self.pid}, name={self.name!r}, state={self.state})"

@@ -1,0 +1,87 @@
+"""Thin per-process syscall interface.
+
+Applications and the SSL library act through this object rather than
+reaching into kernel internals, which keeps their code shaped like the
+C programs they stand in for (``open``/``read``/``close``/``fork``/
+``mlock``/``posix_memalign``...).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.kernel.vfs import O_RDONLY
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.process import Process
+
+
+class SyscallInterface:
+    """Syscalls as seen by one process."""
+
+    def __init__(self, kernel: "Kernel", process: "Process") -> None:
+        self.kernel = kernel
+        self.process = process
+
+    # ------------------------------------------------------------------
+    # files
+    # ------------------------------------------------------------------
+    def open(self, path: str, flags: int = O_RDONLY) -> int:
+        return self.kernel.vfs.open(self.process, path, flags)
+
+    def read(self, fd: int, length: int) -> bytes:
+        return self.kernel.vfs.read(self.process, fd, length)
+
+    def read_all(self, fd: int) -> bytes:
+        return self.kernel.vfs.read_all(self.process, fd)
+
+    def write(self, fd: int, data: bytes) -> int:
+        return self.kernel.vfs.write(self.process, fd, data)
+
+    def close(self, fd: int) -> None:
+        self.kernel.vfs.close(self.process, fd)
+
+    def mkdir(self, path: str) -> None:
+        self.kernel.vfs.mkdir(path)
+
+    # ------------------------------------------------------------------
+    # memory
+    # ------------------------------------------------------------------
+    def malloc(self, size: int) -> int:
+        """Not a syscall, strictly, but the allocation surface apps use."""
+        return self.process.heap.malloc(size)
+
+    def free(self, addr: int, clear: bool = False) -> None:
+        self.process.heap.free(addr, clear=clear)
+
+    def posix_memalign(self, alignment: int, size: int) -> int:
+        return self.process.heap.memalign(alignment, size)
+
+    def mlock(self, addr: int, length: int) -> None:
+        self.process.mm.mlock(addr, length)
+        self.kernel.clock.charge_syscall()
+
+    def mem_write(self, addr: int, data: bytes) -> None:
+        self.process.mm.write(addr, data)
+
+    def mem_read(self, addr: int, length: int) -> bytes:
+        return self.process.mm.read(addr, length)
+
+    # ------------------------------------------------------------------
+    # processes
+    # ------------------------------------------------------------------
+    def fork(self) -> "SyscallInterface":
+        """Fork; returns the *child's* syscall interface."""
+        child = self.kernel.fork(self.process)
+        return SyscallInterface(self.kernel, child)
+
+    def execve(self, name: str) -> None:
+        self.kernel.exec_replace(self.process, name)
+
+    def exit(self, code: int = 0) -> None:
+        self.kernel.exit_process(self.process, code)
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid

@@ -1,0 +1,98 @@
+"""The ``n_tty`` memory-disclosure vulnerability ([12], Guninski 2005).
+
+Linux kernels prior to 2.6.11 misused signed types in
+``drivers/char/n_tty.c``; exploiting it dumps a window of physical
+memory of *random location and random size* — on the paper's testbed
+about 50% of the 256 MB RAM per attempt, with the exact window
+depending on the terminal running the exploit.
+
+We model the dump as a contiguous window whose coverage fraction is
+drawn from a normal distribution centred on 0.5, clipped to a sane
+range, with a uniformly random start.  Both the allocated and the
+unallocated parts of the window are disclosed, which is what makes
+this strictly stronger than the ext2 leak.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import AttackError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.kernel import Kernel
+
+#: Kernel version in which the signedness bug was fixed.
+NTTY_LEAK_FIXED_IN = (2, 6, 11)
+
+#: Mean / stddev / clipping of the disclosed fraction of RAM.
+DEFAULT_COVERAGE_MEAN = 0.50
+DEFAULT_COVERAGE_STDDEV = 0.08
+COVERAGE_MIN = 0.25
+COVERAGE_MAX = 0.75
+
+
+@dataclass
+class NttyDump:
+    """One successful exploitation: a window of physical memory."""
+
+    start: int
+    length: int
+    data: bytes
+    #: Fraction of physical memory this dump covered.
+    coverage: float
+
+
+class NttyVulnerability:
+    """Exploit driver for the n_tty disclosure."""
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        coverage_mean: float = DEFAULT_COVERAGE_MEAN,
+        coverage_stddev: float = DEFAULT_COVERAGE_STDDEV,
+    ) -> None:
+        self.kernel = kernel
+        self.coverage_mean = coverage_mean
+        self.coverage_stddev = coverage_stddev
+
+    @property
+    def vulnerable(self) -> bool:
+        return self.kernel.config.version < NTTY_LEAK_FIXED_IN
+
+    def dump(self, rng: random.Random) -> NttyDump:
+        """Run the exploit once; returns the disclosed window.
+
+        Raises :class:`AttackError` on a fixed kernel, where the driver
+        rejects the malformed request.
+        """
+        if not self.vulnerable:
+            raise AttackError(
+                f"kernel {'.'.join(map(str, self.kernel.config.version))} "
+                "is not vulnerable to the n_tty disclosure"
+            )
+        physmem = self.kernel.physmem
+        fraction = rng.gauss(self.coverage_mean, self.coverage_stddev)
+        fraction = min(COVERAGE_MAX, max(COVERAGE_MIN, fraction))
+        length = max(physmem.page_size, int(physmem.size * fraction))
+        length = min(length, physmem.size)
+        # The window start is uniform over all of RAM and wraps at the
+        # top.  The paper's exploit window "varied, dependent on the
+        # terminal running the exploit"; wrapping gives every physical
+        # byte the same disclosure probability (= the coverage
+        # fraction), which is the statistics behind the ~50% post-
+        # mitigation success rates of Figures 7b and 18.
+        start = rng.randrange(0, physmem.size)
+        if start + length <= physmem.size:
+            data = physmem.read(start, length)
+        else:
+            tail = physmem.size - start
+            data = physmem.read(start, tail) + physmem.read(0, length - tail)
+        # Disclosing 128 MB through the tty takes real time; charge it
+        # so the "< 1 minute" latency claim can be checked.
+        self.kernel.clock.charge_transfer(length)
+        return NttyDump(
+            start=start, length=length, data=data, coverage=length / physmem.size
+        )

@@ -1,0 +1,24 @@
+"""Physical-memory substrate: frames, buddy allocator, rmap, swap.
+
+This package models the part of the machine the paper's attacks read:
+a byte-addressable physical memory organised into page frames, managed
+by a Linux-style buddy allocator whose *free pages keep their stale
+content* unless the kernel-level zero-on-free patch is enabled.
+"""
+
+from repro.mem.buddy import BuddyAllocator
+from repro.mem.page import Page, PageFlag
+from repro.mem.physmem import PAGE_SIZE, PhysicalMemory
+from repro.mem.rmap import AnonVma, ReverseMap
+from repro.mem.swap import SwapDevice
+
+__all__ = [
+    "AnonVma",
+    "BuddyAllocator",
+    "PAGE_SIZE",
+    "Page",
+    "PageFlag",
+    "PhysicalMemory",
+    "ReverseMap",
+    "SwapDevice",
+]

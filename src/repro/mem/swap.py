@@ -1,0 +1,105 @@
+"""Simulated swap device.
+
+Swap matters to the paper for one reason: *a page swapped out is a
+page disclosed twice*.  The swap area itself can be read offline (the
+Provos attack the paper cites), and the RAM frame the page vacated is
+freed **without being cleared**, so its key bytes linger in unallocated
+memory.  The application-level countermeasure pins the key page with
+``mlock()`` precisely to keep it off this path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import SwapError
+from repro.mem.physmem import PAGE_SIZE
+
+
+class SwapDevice:
+    """Fixed-size array of page-sized swap slots on a "disk"."""
+
+    def __init__(self, num_slots: int, page_size: int = PAGE_SIZE) -> None:
+        if num_slots <= 0:
+            raise ValueError("num_slots must be positive")
+        self.num_slots = num_slots
+        self.page_size = page_size
+        self._store = bytearray(num_slots * page_size)
+        self._used: Dict[int, bool] = {}
+        self.swap_outs = 0
+        self.swap_ins = 0
+
+    # ------------------------------------------------------------------
+    # slot management
+    # ------------------------------------------------------------------
+    def _find_free_slot(self) -> int:
+        for slot in range(self.num_slots):
+            if not self._used.get(slot, False):
+                return slot
+        raise SwapError("swap device full")
+
+    def swap_out(self, content: bytes) -> int:
+        """Store one page of ``content``; return its slot number."""
+        if len(content) != self.page_size:
+            raise SwapError(
+                f"swap_out needs exactly {self.page_size} bytes, got {len(content)}"
+            )
+        slot = self._find_free_slot()
+        base = slot * self.page_size
+        self._store[base : base + self.page_size] = content
+        self._used[slot] = True
+        self.swap_outs += 1
+        return slot
+
+    def swap_in(self, slot: int, free_slot: bool = True) -> bytes:
+        """Read a page back.  The slot's bytes are *not* scrubbed unless
+        :meth:`scrub_slot` is called — mirroring real swap behaviour,
+        where stale key material survives on disk indefinitely."""
+        self._check_slot(slot)
+        if not self._used.get(slot, False):
+            raise SwapError(f"swap_in from empty slot {slot}")
+        base = slot * self.page_size
+        content = bytes(self._store[base : base + self.page_size])
+        if free_slot:
+            self._used[slot] = False
+        self.swap_ins += 1
+        return content
+
+    def scrub_slot(self, slot: int) -> None:
+        """Zero one slot (what an encrypted/cleaning swap would ensure)."""
+        self._check_slot(slot)
+        base = slot * self.page_size
+        self._store[base : base + self.page_size] = b"\x00" * self.page_size
+        self._used[slot] = False
+
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < self.num_slots:
+            raise SwapError(f"slot {slot} out of range [0, {self.num_slots})")
+
+    # ------------------------------------------------------------------
+    # disclosure surface
+    # ------------------------------------------------------------------
+    def raw_dump(self) -> bytes:
+        """The whole swap area as an attacker with disk access sees it."""
+        return bytes(self._store)
+
+    def used_slots(self) -> List[int]:
+        return sorted(slot for slot, used in self._used.items() if used)
+
+    def free_slots(self) -> int:
+        return self.num_slots - len(self.used_slots())
+
+    def find_pattern(self, pattern: bytes) -> List[int]:
+        """Byte offsets of ``pattern`` anywhere in the swap area
+        (including slots already released but never scrubbed)."""
+        if not pattern:
+            raise ValueError("empty search pattern")
+        hits: List[int] = []
+        pos = self._store.find(pattern)
+        while pos != -1:
+            hits.append(pos)
+            pos = self._store.find(pattern, pos + 1)
+        return hits
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SwapDevice(slots={self.num_slots}, used={len(self.used_slots())})"

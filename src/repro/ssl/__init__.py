@@ -1,0 +1,31 @@
+"""OpenSSL-like library operating on simulated process memory.
+
+Every sensitive buffer this layer touches — the PEM text read from
+disk, the DER blob it decodes to, the six BIGNUMs of the parsed key,
+the Montgomery cache of p and q — is allocated on the owning process's
+simulated heap, so the paper's scanner and attacks see byte-exact key
+copies wherever the real OpenSSL 0.9.7 would have left them.
+"""
+
+from repro.ssl.bn import Bignum, BnFlag, bn_bin2bn, bn_clear_free, bn_free
+from repro.ssl.d2i import d2i_privatekey
+from repro.ssl.engine import rsa_private_operation, rsa_public_operation
+from repro.ssl.evp import evp_open, evp_seal, evp_sign, evp_verify
+from repro.ssl.rsa_st import RsaFlag, RsaStruct
+
+__all__ = [
+    "Bignum",
+    "BnFlag",
+    "RsaFlag",
+    "RsaStruct",
+    "bn_bin2bn",
+    "bn_clear_free",
+    "bn_free",
+    "d2i_privatekey",
+    "evp_open",
+    "evp_seal",
+    "evp_sign",
+    "evp_verify",
+    "rsa_private_operation",
+    "rsa_public_operation",
+]

@@ -1,0 +1,46 @@
+"""BIO: file input through the kernel, into process heap buffers.
+
+``BIO_new_file`` + ``BIO_read`` in miniature.  Two key behaviours:
+
+* reading a file populates the *page cache* with its content (that is
+  where the persistent PEM copy of Figures 5/6 comes from);
+* the bytes handed back to the application land in a *heap buffer* —
+  a second, user-space copy of the PEM text.
+
+The integrated solution's modified ``BIO_new_file`` (the paper's
+``bss_file.c`` diff) opens read-only files with ``O_NOCACHE``, which a
+patched kernel honours by evicting and clearing the cache pages after
+the read.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+from repro.kernel.vfs import O_NOCACHE, O_RDONLY
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.process import Process
+
+
+def bio_read_file(
+    process: "Process", path: str, use_nocache: bool = False
+) -> Tuple[int, int]:
+    """Read a whole file into a fresh heap buffer.
+
+    Returns ``(heap_address, length)``.  The caller owns the buffer and
+    is responsible for freeing — and, if it holds secrets, clearing —
+    it, exactly as with a real ``BIO`` read.
+    """
+    kernel = process.kernel
+    flags = O_RDONLY | (O_NOCACHE if use_nocache else 0)
+    fd = kernel.vfs.open(process, path, flags)
+    try:
+        data = kernel.vfs.read_all(process, fd)
+    finally:
+        kernel.vfs.close(process, fd)
+    if not data:
+        raise ValueError(f"file {path!r} is empty")
+    addr = process.heap.malloc(len(data))
+    process.mm.write(addr, data)
+    return addr, len(data)

@@ -1,0 +1,99 @@
+"""BIGNUMs whose digit arrays live in simulated process memory.
+
+A :class:`Bignum` is OpenSSL's ``BIGNUM``: a header (modelled as a
+Python object) pointing at a ``d`` array of big-endian bytes on the
+process heap.  ``BN_FLG_STATIC_DATA`` marks a BIGNUM whose data the
+BN layer must never free or reallocate — ``RSA_memory_align()`` sets it
+after relocating all six key parts into the dedicated mlocked page.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING
+
+from repro.errors import BignumError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.process import Process
+
+
+class BnFlag(enum.Flag):
+    """Subset of OpenSSL's BN flags."""
+
+    NONE = 0
+    #: Data array was malloc()ed by the BN layer and may be freed by it.
+    MALLOCED = enum.auto()
+    #: Data array belongs to someone else (the aligned key page);
+    #: BN_free must not release or modify it.
+    STATIC_DATA = enum.auto()
+
+
+class Bignum:
+    """An OpenSSL ``BIGNUM``: header + heap-resident digit bytes."""
+
+    def __init__(self, process: "Process", addr: int, top: int, flags: BnFlag) -> None:
+        self.process = process
+        #: Heap address of the digit array (``bn->d``).
+        self.addr = addr
+        #: Length of the digit array in bytes (``bn->top`` scaled).
+        self.top = top
+        self.flags = flags
+        self.freed = False
+
+    # ------------------------------------------------------------------
+    # value access (always through simulated memory)
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        self._require_live()
+        return self.process.mm.read(self.addr, self.top)
+
+    def value(self) -> int:
+        return int.from_bytes(self.to_bytes(), "big")
+
+    def _require_live(self) -> None:
+        if self.freed:
+            raise BignumError("use of freed BIGNUM")
+
+    def repoint(self, addr: int, flags: BnFlag) -> None:
+        """Update ``bn->d`` to a new location (the align relocation)."""
+        self._require_live()
+        self.addr = addr
+        self.flags = flags
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Bignum(addr={self.addr:#x}, top={self.top}, flags={self.flags!r})"
+
+
+def bn_bin2bn(process: "Process", data: bytes) -> Bignum:
+    """``BN_bin2bn``: copy big-endian bytes into a fresh heap BIGNUM."""
+    if not data:
+        raise BignumError("cannot create empty BIGNUM")
+    addr = process.heap.malloc(len(data))
+    process.mm.write(addr, data)
+    return Bignum(process, addr, len(data), BnFlag.MALLOCED)
+
+
+def bn_free(bn: Bignum) -> None:
+    """``BN_free``: release without clearing — the data stays readable
+    in the freed chunk, which is one of the leak sources the paper's
+    analysis surfaces."""
+    if bn.freed:
+        raise BignumError("double free of BIGNUM")
+    if bn.flags & BnFlag.MALLOCED and not bn.flags & BnFlag.STATIC_DATA:
+        bn.process.heap.free(bn.addr, clear=False)
+    bn.freed = True
+
+
+def bn_clear_free(bn: Bignum) -> None:
+    """``BN_clear_free``: zero the digit array, then release it."""
+    if bn.freed:
+        raise BignumError("double free of BIGNUM")
+    if bn.flags & BnFlag.STATIC_DATA:
+        # Static data belongs to the aligned region; never touched here.
+        bn.freed = True
+        return
+    bn.process.mm.write(bn.addr, b"\x00" * bn.top)
+    if bn.flags & BnFlag.MALLOCED:
+        bn.process.heap.free(bn.addr, clear=False)
+    bn.freed = True

@@ -1,0 +1,67 @@
+"""EVP-style high-level signing/sealing over the simulated engine.
+
+The servers use raw engine operations for their handshakes; downstream
+users of the library (see ``examples/custom_app_protection.py``) want
+the ergonomic surface OpenSSL's EVP layer provides.  These helpers run
+PKCS#1 v1.5 over :func:`repro.ssl.engine.rsa_private_operation`, which
+means they transparently respect every protection state — stock,
+aligned, or offloaded to the hardware vault — and account simulated
+time identically to the servers.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.randsrc import DeterministicRandom
+from repro.crypto.rsa import bytes_to_int, int_to_bytes, pkcs1_v15_sign_encode
+from repro.errors import PaddingError, SignatureError
+from repro.ssl.engine import rsa_private_operation, rsa_public_operation
+from repro.ssl.rsa_st import RsaStruct
+
+
+def _modulus_bytes(rsa: RsaStruct) -> int:
+    return (rsa.n.bit_length() + 7) // 8
+
+
+def evp_sign(rsa: RsaStruct, message: bytes) -> bytes:
+    """PKCS#1 v1.5 signature over SHA-256(message)."""
+    em = pkcs1_v15_sign_encode(message, _modulus_bytes(rsa))
+    signature = rsa_private_operation(rsa, bytes_to_int(em))
+    return int_to_bytes(signature, _modulus_bytes(rsa))
+
+
+def evp_verify(rsa: RsaStruct, message: bytes, signature: bytes) -> None:
+    """Raise :class:`SignatureError` unless ``signature`` checks out."""
+    k = _modulus_bytes(rsa)
+    if len(signature) != k:
+        raise SignatureError("signature length mismatch")
+    em = int_to_bytes(rsa_public_operation(rsa, bytes_to_int(signature)), k)
+    expected = pkcs1_v15_sign_encode(message, k)
+    if em != expected:
+        raise SignatureError("bad signature")
+
+
+def evp_seal(rsa: RsaStruct, plaintext: bytes, rng: DeterministicRandom) -> bytes:
+    """PKCS#1 v1.5 encryption to the struct's public key."""
+    k = _modulus_bytes(rsa)
+    if len(plaintext) > k - 11:
+        raise PaddingError(f"plaintext too long for {k}-byte modulus")
+    padding = rng.random_nonzero_bytes(k - 3 - len(plaintext))
+    em = b"\x00\x02" + padding + b"\x00" + plaintext
+    return int_to_bytes(rsa_public_operation(rsa, bytes_to_int(em)), k)
+
+
+def evp_open(rsa: RsaStruct, ciphertext: bytes) -> bytes:
+    """PKCS#1 v1.5 decryption with the private operation."""
+    k = _modulus_bytes(rsa)
+    if len(ciphertext) != k:
+        raise PaddingError("ciphertext length mismatch")
+    representative = bytes_to_int(ciphertext)
+    if representative >= rsa.n:
+        raise PaddingError("ciphertext representative out of range")
+    em = int_to_bytes(rsa_private_operation(rsa, representative), k)
+    if em[0] != 0 or em[1] != 2:
+        raise PaddingError("bad PKCS#1 block header")
+    separator = em.find(b"\x00", 2)
+    if separator < 10:
+        raise PaddingError("bad PKCS#1 padding separator")
+    return em[separator + 1 :]

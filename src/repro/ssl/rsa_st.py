@@ -1,0 +1,198 @@
+"""The ``RSA`` struct and its Montgomery cache.
+
+``RSA_FLAG_CACHE_PRIVATE`` is on by default in OpenSSL: the first
+private operation builds Montgomery contexts for p and q and keeps
+them on the struct.  Each context holds a *verbatim copy of its
+modulus* — i.e. two more full key-part copies per process that ever
+performed a handshake.  ``RSA_memory_align()`` clears the flag, which
+is one of the three things that make the mitigated copy count constant.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.crypto.rsa import RsaKey
+from repro.errors import RsaStructError
+from repro.ssl.bn import Bignum, bn_clear_free
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.process import Process
+
+#: The six private-key parts, in the paper's order.
+PART_NAMES = ("d", "p", "q", "dmp1", "dmq1", "iqmp")
+
+
+class RsaFlag(enum.Flag):
+    """Subset of OpenSSL's RSA flags."""
+
+    NONE = 0
+    CACHE_PUBLIC = enum.auto()
+    CACHE_PRIVATE = enum.auto()
+
+
+class MontgomeryContext:
+    """``BN_MONT_CTX`` for one modulus: holds a copy of it on the heap."""
+
+    def __init__(self, process: "Process", modulus_bytes: bytes) -> None:
+        self.process = process
+        self.size = len(modulus_bytes)
+        self.addr = process.heap.malloc(self.size)
+        process.mm.write(self.addr, modulus_bytes)
+        self.freed = False
+
+    def modulus(self) -> int:
+        if self.freed:
+            raise RsaStructError("use of freed Montgomery context")
+        return int.from_bytes(self.process.mm.read(self.addr, self.size), "big")
+
+    def free(self, clear: bool = False) -> None:
+        """``BN_MONT_CTX_free`` — does *not* clear in stock OpenSSL."""
+        if self.freed:
+            raise RsaStructError("double free of Montgomery context")
+        if clear:
+            self.process.mm.write(self.addr, b"\x00" * self.size)
+        self.process.heap.free(self.addr, clear=False)
+        self.freed = True
+
+
+class RsaStruct:
+    """An in-memory RSA private key as OpenSSL holds it."""
+
+    def __init__(
+        self,
+        process: "Process",
+        n: int,
+        e: int,
+        parts: Dict[str, Bignum],
+    ) -> None:
+        # An empty parts dict is legal: it denotes a struct whose
+        # private material lives in the hardware vault (or is about to
+        # be attached).  A *partial* dict is always a caller bug.
+        if parts:
+            missing = [name for name in PART_NAMES if name not in parts]
+            if missing:
+                raise RsaStructError(f"missing key parts: {missing}")
+        self.process = process
+        self.n = n
+        self.e = e
+        self.bn: Dict[str, Bignum] = dict(parts)
+        #: Stock default: cache Montgomery contexts across operations.
+        self.flags = RsaFlag.CACHE_PRIVATE | RsaFlag.CACHE_PUBLIC
+        #: Heap address of the aligned region, once align has run.
+        self.bignum_data: Optional[int] = None
+        #: Montgomery cache: part name ('p'/'q') -> context.
+        self.mont: Dict[str, MontgomeryContext] = {}
+        #: Handle into the hardware key vault, once offloaded; the
+        #: struct then holds no private material in RAM at all.
+        self.vault_handle: Optional[int] = None
+        self.freed = False
+
+    # ------------------------------------------------------------------
+    # key access (reads go through simulated memory)
+    # ------------------------------------------------------------------
+    def to_key(self) -> RsaKey:
+        """Reconstruct the mathematical key from in-memory bytes."""
+        self._require_live()
+        if self.vault_handle is not None:
+            raise RsaStructError(
+                "key material lives in the hardware vault, not in RAM"
+            )
+        values = {name: self.bn[name].value() for name in PART_NAMES}
+        return RsaKey(
+            n=self.n,
+            e=self.e,
+            d=values["d"],
+            p=values["p"],
+            q=values["q"],
+            dmp1=values["dmp1"],
+            dmq1=values["dmq1"],
+            iqmp=values["iqmp"],
+        )
+
+    def part_bytes(self, name: str) -> bytes:
+        self._require_live()
+        try:
+            return self.bn[name].to_bytes()
+        except KeyError:
+            raise RsaStructError(f"no such key part {name!r}") from None
+
+    @property
+    def aligned(self) -> bool:
+        return self.bignum_data is not None
+
+    def _require_live(self) -> None:
+        if self.freed:
+            raise RsaStructError("use of freed RSA struct")
+
+    # ------------------------------------------------------------------
+    # Montgomery cache
+    # ------------------------------------------------------------------
+    def ensure_mont(self, name: str) -> MontgomeryContext:
+        """Build (or fetch) the cached Montgomery context for p or q."""
+        self._require_live()
+        if name not in ("p", "q"):
+            raise RsaStructError(f"no Montgomery cache for part {name!r}")
+        ctx = self.mont.get(name)
+        if ctx is None:
+            ctx = MontgomeryContext(self.process, self.part_bytes(name))
+            self.mont[name] = ctx
+        return ctx
+
+    def drop_mont(self, clear: bool = False) -> None:
+        for ctx in self.mont.values():
+            ctx.free(clear=clear)
+        self.mont.clear()
+
+    # ------------------------------------------------------------------
+    # fork support
+    # ------------------------------------------------------------------
+    def view_in(self, process: "Process") -> "RsaStruct":
+        """The struct as seen by a forked child.
+
+        After ``fork()`` the child addresses the same virtual locations
+        (COW-shared until written).  The view re-binds the BIGNUM
+        headers to the child so reads/allocations act on the child's
+        address space.  The Montgomery cache starts empty: the child
+        builds its own contexts on first use, in *its* heap — which is
+        exactly how per-worker p/q copies multiply in baseline Apache.
+        """
+        from repro.ssl.bn import Bignum
+
+        parts = {
+            name: Bignum(process, bn.addr, bn.top, bn.flags)
+            for name, bn in self.bn.items()
+        }
+        view = RsaStruct(process, n=self.n, e=self.e, parts=parts)
+        view.flags = self.flags
+        view.bignum_data = self.bignum_data
+        view.vault_handle = self.vault_handle
+        return view
+
+    # ------------------------------------------------------------------
+    # teardown
+    # ------------------------------------------------------------------
+    def rsa_free(self) -> None:
+        """``RSA_free``: clears private BIGNUMs (as 0.9.7 does), frees
+        the Montgomery cache *without* clearing (also as 0.9.7 does),
+        and zeroes the aligned region if present."""
+        self._require_live()
+        if self.bignum_data is not None:
+            total = sum(bn.top for bn in self.bn.values())
+            self.process.mm.write(self.bignum_data, b"\x00" * total)
+            self.process.heap.free(self.bignum_data, clear=False)
+            self.bignum_data = None
+            for bn in self.bn.values():
+                bn.freed = True
+        else:
+            for bn in self.bn.values():
+                bn_clear_free(bn)
+        self.drop_mont(clear=False)
+        self.freed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RsaStruct(pid={self.process.pid}, bits={self.n.bit_length()}, "
+            f"aligned={self.aligned}, flags={self.flags!r})"
+        )

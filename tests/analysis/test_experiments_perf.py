@@ -1,0 +1,121 @@
+"""Attack-sweep and performance-bench driver tests (scaled down)."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    ext2_attack_sweep,
+    mitigation_comparison,
+    ntty_attack_sweep,
+)
+from repro.analysis.perfbench import (
+    SCP_FILE_SIZES,
+    overhead_ratio,
+    run_scp_stress,
+    run_siege,
+)
+from repro.core.protection import ProtectionLevel
+
+
+class TestScpFileSizes:
+    def test_paper_average(self):
+        """§5.2: '10 different files ... average size of 102.3 KBytes'."""
+        avg_kb = sum(SCP_FILE_SIZES) / len(SCP_FILE_SIZES) / 1024
+        assert avg_kb == pytest.approx(102.3)
+        assert min(SCP_FILE_SIZES) == 1024
+        assert max(SCP_FILE_SIZES) == 512 * 1024
+
+
+class TestNttySweep:
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return ntty_attack_sweep(
+            "openssh", connections=(0, 5, 20), repetitions=4,
+            key_bits=256, memory_mb=8,
+        )
+
+    def test_cells_complete(self, baseline):
+        assert set(baseline.cells) == {0, 5, 20}
+        for cell in baseline.cells.values():
+            assert cell.samples == 4
+
+    def test_copies_grow_with_connections(self, baseline):
+        series = dict(baseline.copies_series())
+        assert series[20] > series[0]
+
+    def test_success_with_connections(self, baseline):
+        series = dict(baseline.success_series())
+        assert series[20] == 1.0
+
+    def test_series_sorted(self, baseline):
+        xs = [x for x, _ in baseline.copies_series()]
+        assert xs == sorted(xs)
+
+
+class TestExt2Sweep:
+    def test_quick_sweep_shape(self):
+        result = ext2_attack_sweep(
+            "openssh", connections=(10,), directories=(100, 600),
+            repetitions=2, key_bits=256, memory_mb=8,
+        )
+        assert set(result.cells) == {(10, 100), (10, 600)}
+        more_dirs = result.cells[(10, 600)]
+        fewer_dirs = result.cells[(10, 100)]
+        assert more_dirs.avg_copies >= fewer_dirs.avg_copies
+
+    def test_mitigated_sweep_finds_nothing(self):
+        result = ext2_attack_sweep(
+            "openssh", connections=(10,), directories=(300,),
+            repetitions=2, level=ProtectionLevel.INTEGRATED,
+            key_bits=256, memory_mb=8,
+        )
+        cell = result.cells[(10, 300)]
+        assert cell.avg_copies == 0.0
+        assert cell.success_rate == 0.0
+
+
+class TestMitigationComparison:
+    def test_before_after(self):
+        baseline, mitigated = mitigation_comparison(
+            "openssh", connections=(10,), repetitions=6,
+            key_bits=256, memory_mb=8,
+        )
+        base_cell = baseline.cells[10]
+        mitigated_cell = mitigated.cells[10]
+        assert base_cell.success_rate == 1.0
+        assert base_cell.avg_copies > 10 * max(1.0, mitigated_cell.avg_copies)
+        # Post-mitigation success collapses toward the coverage fraction.
+        assert mitigated_cell.success_rate < 1.0
+
+
+class TestPerfBenches:
+    def test_scp_metrics_sane(self):
+        metrics = run_scp_stress(transfers=40, key_bits=256, memory_mb=8)
+        assert metrics.transactions == 40
+        assert metrics.elapsed_s > 0
+        assert metrics.transaction_rate > 0
+        assert metrics.throughput_mbit > 0
+        assert metrics.response_time_s > 0
+
+    def test_scp_no_performance_penalty(self):
+        before = run_scp_stress(ProtectionLevel.NONE, transfers=60, key_bits=256, memory_mb=8)
+        after = run_scp_stress(ProtectionLevel.INTEGRATED, transfers=60, key_bits=256, memory_mb=8)
+        assert abs(overhead_ratio(before, after)) < 0.10
+
+    def test_siege_metrics_sane(self):
+        metrics = run_siege(transactions=40, key_bits=256, memory_mb=8)
+        assert metrics.transactions == 40
+        assert metrics.effective_concurrency == pytest.approx(metrics.concurrent)
+
+    def test_siege_no_performance_penalty(self):
+        before = run_siege(ProtectionLevel.NONE, transactions=60, key_bits=256, memory_mb=8)
+        after = run_siege(ProtectionLevel.INTEGRATED, transactions=60, key_bits=256, memory_mb=8)
+        assert abs(overhead_ratio(before, after)) < 0.05
+
+    def test_overhead_ratio_zero_division(self):
+        from repro.analysis.perfbench import PerfMetrics
+
+        zero = PerfMetrics(transactions=0, concurrent=1, elapsed_s=0, bytes_moved=0)
+        assert overhead_ratio(zero, zero) == 0.0
+        assert zero.transaction_rate == 0.0
+        assert zero.throughput_mbit == 0.0
+        assert zero.response_time_s == 0.0

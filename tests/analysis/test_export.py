@@ -1,0 +1,72 @@
+"""CSV export tests."""
+
+import csv
+import io
+
+from repro.analysis.experiments import ext2_attack_sweep, ntty_attack_sweep
+from repro.analysis.export import (
+    ext2_sweep_to_csv,
+    ntty_sweep_to_csv,
+    scan_report_to_csv,
+    timeline_locations_to_csv,
+    timeline_to_csv,
+)
+from repro.analysis.timeline import run_timeline
+from repro.core.protection import ProtectionLevel
+from repro.core.simulation import Simulation, SimulationConfig
+
+
+def parse(text):
+    return list(csv.reader(io.StringIO(text)))
+
+
+class TestTimelineCsv:
+    def test_counts(self):
+        result = run_timeline("openssh", ProtectionLevel.INTEGRATED, seed=2,
+                              key_bits=256, cycles_per_slot=1)
+        rows = parse(timeline_to_csv(result))
+        assert rows[0] == ["step", "server_running", "concurrency",
+                           "allocated", "unallocated"]
+        assert len(rows) == 31  # header + 30 steps
+        assert rows[1][0] == "0"
+        assert all(row[4] == "0" for row in rows[1:])  # no unallocated
+
+    def test_locations(self):
+        result = run_timeline("openssh", ProtectionLevel.NONE, seed=2,
+                              key_bits=256, cycles_per_slot=1)
+        rows = parse(timeline_locations_to_csv(result))
+        assert rows[0] == ["step", "address", "allocated"]
+        total_points = sum(len(s.locations) for s in result.steps)
+        assert len(rows) == total_points + 1
+
+
+class TestSweepCsv:
+    def test_ntty(self):
+        result = ntty_attack_sweep("openssh", connections=(0, 5),
+                                   repetitions=2, key_bits=256, memory_mb=8)
+        rows = parse(ntty_sweep_to_csv(result))
+        assert rows[0][0] == "connections"
+        assert [row[0] for row in rows[1:]] == ["0", "5"]
+
+    def test_ext2(self):
+        result = ext2_attack_sweep("openssh", connections=(5,),
+                                   directories=(100,), repetitions=1,
+                                   key_bits=256, memory_mb=8)
+        rows = parse(ext2_sweep_to_csv(result))
+        assert rows[1][:2] == ["5", "100"]
+        assert len(rows) == 2
+
+
+class TestScanCsv:
+    def test_scan_rows(self):
+        sim = Simulation(SimulationConfig(server="openssh", seed=2,
+                                          key_bits=256, memory_mb=8))
+        sim.start_server()
+        report = sim.scan()
+        rows = parse(scan_report_to_csv(report))
+        assert len(rows) == report.total + 1
+        header = rows[0]
+        assert header[:3] == ["pattern", "address", "frame"]
+        # Owners column round-trips PID lists.
+        body = rows[1:]
+        assert any(row[5] for row in body)

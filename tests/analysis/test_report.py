@@ -1,0 +1,87 @@
+"""Report-rendering tests."""
+
+from repro.analysis.report import (
+    render_locations,
+    render_series,
+    render_surface,
+    render_table,
+    render_timeline,
+)
+from repro.analysis.timeline import TimelineResult, TimelineStep
+from repro.core.protection import ProtectionLevel
+
+
+def tiny_timeline():
+    result = TimelineResult(
+        server="openssh", level=ProtectionLevel.NONE, seed=1,
+        memory_bytes=1 << 20,
+    )
+    result.steps = [
+        TimelineStep(index=0, server_running=False, concurrency=0,
+                     allocated=1, unallocated=0,
+                     locations=[(100, True)], regions={"pagecache": 1}),
+        TimelineStep(index=1, server_running=True, concurrency=8,
+                     allocated=5, unallocated=2,
+                     locations=[(100, True), (1 << 19, False)],
+                     regions={"user": 5, "free": 2}),
+    ]
+    return result
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        text = render_table(["a", "long-header"], [[1, 2.5], [300, 4]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert set(lines[1]) == {"-"}
+        assert "2.500" in text
+        assert "300" in text
+
+    def test_empty_rows(self):
+        text = render_table(["x"], [])
+        assert "x" in text
+
+
+class TestRenderSeries:
+    def test_named_series(self):
+        text = render_series(
+            "My Title", "conns",
+            {"before": [(10, 1.0)], "after": [(10, 0.5), (20, 0.25)]},
+        )
+        assert "My Title" in text
+        assert "conns" in text
+        assert "0.250" in text
+
+    def test_missing_points_blank(self):
+        text = render_series("t", "x", {"a": [(1, 1.0)], "b": [(2, 2.0)]})
+        assert "1.000" in text and "2.000" in text
+
+
+class TestRenderSurface:
+    def test_grid(self):
+        text = render_surface(
+            "Surface", "conn", "dirs",
+            {(50, 100): 1.5, (50, 200): 2.5, (100, 100): 3.5},
+        )
+        assert "conn\\dirs" in text
+        assert "3.500" in text
+
+
+class TestTimelineRenderers:
+    def test_render_timeline(self):
+        text = render_timeline(tiny_timeline())
+        assert "openssh" in text and "level=none" in text
+        lines = text.splitlines()
+        assert len(lines) == 2 + 2 + 1  # title + header + rule + 2 rows
+
+    def test_render_locations_marks(self):
+        text = render_locations(tiny_timeline(), width=32)
+        assert "x" in text  # allocated mark
+        assert "+" in text  # unallocated mark
+        assert "t= 0" in text and "t= 1" in text
+
+    def test_render_locations_width(self):
+        text = render_locations(tiny_timeline(), width=16)
+        for line in text.splitlines()[1:]:
+            bar = line.split("|")[1]
+            assert len(bar) == 16

@@ -1,0 +1,125 @@
+"""Timeline-driver tests: the §3.2 schedule and its observations."""
+
+import pytest
+
+from repro.analysis.timeline import (
+    T_START_SERVER,
+    T_STOP_SERVER,
+    T_TRAFFIC_8,
+    T_TRAFFIC_16,
+    T_TRAFFIC_STOP,
+    run_timeline,
+)
+from repro.core.protection import ProtectionLevel
+
+
+@pytest.fixture(scope="module")
+def ssh_baseline():
+    return run_timeline("openssh", ProtectionLevel.NONE, seed=3, key_bits=256,
+                        cycles_per_slot=1)
+
+
+@pytest.fixture(scope="module")
+def apache_baseline():
+    return run_timeline("apache", ProtectionLevel.NONE, seed=3, key_bits=256,
+                        cycles_per_slot=1)
+
+
+class TestSchedule:
+    def test_thirty_steps(self, ssh_baseline):
+        assert len(ssh_baseline.steps) == 30
+        assert [s.index for s in ssh_baseline.steps] == list(range(30))
+
+    def test_server_running_window(self, ssh_baseline):
+        for step in ssh_baseline.steps:
+            expected = T_START_SERVER <= step.index < T_STOP_SERVER
+            assert step.server_running == expected
+
+    def test_concurrency_profile(self, ssh_baseline):
+        assert ssh_baseline.steps[T_TRAFFIC_8].concurrency == 8
+        assert ssh_baseline.steps[T_TRAFFIC_16].concurrency == 16
+        assert ssh_baseline.steps[T_TRAFFIC_STOP].concurrency == 0
+        assert ssh_baseline.steps[0].concurrency == 0
+
+
+class TestPaperObservationsSsh:
+    """The five numbered observations under Figure 5."""
+
+    def test_obs1_pem_in_memory_before_start(self, ssh_baseline):
+        """(1) key in memory at t=0 — the Reiser-cached PEM file."""
+        step0 = ssh_baseline.steps[0]
+        assert step0.total == 1
+        assert step0.regions.get("pagecache") == 1
+
+    def test_obs2_parts_appear_at_start(self, ssh_baseline):
+        """(2) d, P, Q appear when the server starts."""
+        assert ssh_baseline.steps[T_START_SERVER].allocated > 1
+
+    def test_obs3_flood_when_traffic_starts(self, ssh_baseline):
+        """(3) copies increase abruptly with client requests, and
+        unallocated copies appear."""
+        quiet = ssh_baseline.steps[T_TRAFFIC_8 - 1]
+        busy = ssh_baseline.steps[T_TRAFFIC_8]
+        assert busy.allocated > 3 * quiet.allocated
+        busy_window = ssh_baseline.steps[T_TRAFFIC_8 : T_TRAFFIC_STOP]
+        assert any(s.unallocated > 0 for s in busy_window)
+
+    def test_obs3b_more_connections_more_copies(self, ssh_baseline):
+        eight = ssh_baseline.steps[T_TRAFFIC_16 - 1]
+        sixteen = ssh_baseline.steps[T_TRAFFIC_16]
+        assert sixteen.allocated > eight.allocated
+
+    def test_obs4_drop_when_traffic_stops(self, ssh_baseline):
+        """(4) allocated copies drop abruptly; uncleared copies move to
+        unallocated memory."""
+        before = ssh_baseline.steps[T_TRAFFIC_STOP - 1]
+        after = ssh_baseline.steps[T_TRAFFIC_STOP]
+        assert after.allocated < before.allocated / 3
+        assert after.unallocated > 0
+
+    def test_obs5_after_stop_only_pagecache_allocated(self, ssh_baseline):
+        """(5) after sshd stops, d/P/Q survive only in unallocated
+        memory; the PEM copy persists in the page cache."""
+        final = ssh_baseline.steps[-1]
+        assert final.allocated == 1
+        assert final.regions.get("pagecache") == 1
+        assert final.unallocated > 0
+
+
+class TestPaperObservationsApache:
+    def test_obs1_multiple_copies_at_start(self, apache_baseline):
+        assert apache_baseline.steps[T_START_SERVER].allocated >= 4
+
+    def test_obs2_flood_with_requests(self, apache_baseline):
+        quiet = apache_baseline.steps[T_TRAFFIC_8 - 1]
+        busy = apache_baseline.steps[T_TRAFFIC_16]
+        assert busy.allocated > 2 * quiet.allocated
+
+    def test_obs3_unallocated_grows_when_load_drops(self, apache_baseline):
+        at_16 = apache_baseline.steps[T_TRAFFIC_16]
+        after_drop = apache_baseline.steps[T_TRAFFIC_STOP]
+        assert after_drop.unallocated > at_16.unallocated
+
+    def test_obs4_residue_persists_after_stop(self, apache_baseline):
+        final = apache_baseline.steps[-1]
+        assert final.unallocated > 10
+
+
+class TestSeries:
+    def test_series_accessors(self, ssh_baseline):
+        total = ssh_baseline.series("total")
+        assert total == [
+            s.allocated + s.unallocated for s in ssh_baseline.steps
+        ]
+        with pytest.raises(ValueError):
+            ssh_baseline.series("bogus")
+
+    def test_peak_during_high_traffic(self, ssh_baseline):
+        peak = ssh_baseline.peak_total()
+        assert peak >= ssh_baseline.steps[T_TRAFFIC_16].total
+
+    def test_locations_are_valid(self, ssh_baseline):
+        for step in ssh_baseline.steps:
+            assert len(step.locations) == step.total
+            for address, _allocated in step.locations:
+                assert 0 <= address < ssh_baseline.memory_bytes

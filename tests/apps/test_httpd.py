@@ -1,0 +1,138 @@
+"""Apache prefork analog tests."""
+
+import pytest
+
+from repro.core.protection import ProtectionLevel
+from repro.core.simulation import Simulation, SimulationConfig
+from repro.errors import WorkloadError
+
+
+def make_sim(level=ProtectionLevel.NONE, seed=0):
+    return Simulation(
+        SimulationConfig(server="apache", level=level, seed=seed, key_bits=256, memory_mb=8)
+    )
+
+
+class TestPool:
+    def test_start_prefork(self):
+        sim = make_sim()
+        sim.start_server()
+        assert len(sim.server.workers) == sim.server.config.start_servers
+        assert all(w.alive for w in sim.server.workers)
+
+    def test_pool_grows_with_load(self):
+        sim = make_sim()
+        sim.start_server()
+        sim.server.ensure_pool(12)
+        assert len(sim.server.workers) == 12
+
+    def test_pool_capped_at_max_clients(self):
+        sim = make_sim()
+        sim.start_server()
+        sim.server.ensure_pool(100)
+        assert len(sim.server.workers) == sim.server.config.max_clients
+
+    def test_pool_trims_to_spare(self):
+        sim = make_sim()
+        sim.start_server()
+        sim.server.ensure_pool(12)
+        sim.server.ensure_pool(0)
+        assert len(sim.server.workers) == sim.server.config.max_spare_servers
+
+    def test_ensure_pool_requires_running(self):
+        sim = make_sim()
+        with pytest.raises(WorkloadError):
+            sim.server.ensure_pool(4)
+
+    def test_reaped_workers_exit(self):
+        sim = make_sim()
+        sim.start_server()
+        sim.server.ensure_pool(10)
+        victims = sim.server.workers[8:]
+        sim.server.ensure_pool(0)
+        assert all(not w.process.alive for w in victims)
+
+
+class TestRequests:
+    def test_round_robin(self):
+        sim = make_sim()
+        sim.start_server()
+        for _ in range(8):
+            sim.server.handle_request(1024)
+        counts = [w.requests_served for w in sim.server.workers]
+        assert counts == [2, 2, 2, 2]
+
+    def test_handshake_per_worker_builds_cache(self):
+        sim = make_sim()
+        sim.start_server()
+        for _ in range(4):
+            sim.server.handle_request(1024)
+        copies = len(sim.kernel.physmem.find_all(sim.key.p_bytes()))
+        # Master heap page: live BN copy + stale DER copy          = 2.
+        # Each worker's first heap write COW-duplicates that page
+        # (another BN + DER copy) and adds its own Montgomery copy = 3.
+        # Total with 4 workers: 2 + 4*3 = 14 — copy multiplication
+        # through COW breaks is exactly the paper's flooding effect.
+        assert copies == 14
+
+    def test_protected_workers_make_no_copies(self):
+        sim = make_sim(ProtectionLevel.LIBRARY)
+        sim.start_server()
+        for _ in range(8):
+            sim.server.handle_request(1024)
+        assert len(sim.kernel.physmem.find_all(sim.key.p_bytes())) == 1
+
+    def test_max_requests_per_child_recycles(self):
+        sim = make_sim()
+        sim.start_server()
+        limit = sim.server.config.max_requests_per_child
+        first_worker = sim.server.workers[0]
+        for _ in range(limit * len(sim.server.workers)):
+            sim.server.handle_request(512)
+        assert first_worker not in sim.server.workers
+        assert not first_worker.process.alive
+        assert len(sim.server.workers) == sim.server.config.start_servers
+
+    def test_request_without_start(self):
+        sim = make_sim()
+        with pytest.raises(WorkloadError):
+            sim.server.handle_request()
+
+    def test_request_counter(self):
+        sim = make_sim()
+        sim.start_server()
+        for _ in range(5):
+            sim.server.handle_request(512)
+        assert sim.server.total_requests == 5
+
+    def test_charges_time(self):
+        sim = make_sim()
+        sim.start_server()
+        before = sim.kernel.clock.now_us
+        sim.server.handle_request(64 * 1024)
+        spent = sim.kernel.clock.now_us - before
+        assert spent >= sim.kernel.clock.costs.rsa_private_op_us
+
+
+class TestStop:
+    def test_stop_reaps_everything(self):
+        sim = make_sim()
+        sim.start_server()
+        sim.server.ensure_pool(8)
+        workers = list(sim.server.workers)
+        master = sim.server.master
+        sim.stop_server()
+        assert all(not w.process.alive for w in workers)
+        assert not master.alive
+
+    def test_graceful_stop_scrubs_master(self):
+        sim = make_sim(ProtectionLevel.LIBRARY)
+        sim.start_server()
+        sim.stop_server()
+        assert sim.scan().unallocated_count == 0
+
+    def test_crash_stop_leaves_key(self):
+        sim = make_sim(ProtectionLevel.LIBRARY)
+        sim.start_server()
+        sim.server.stop(graceful=False)
+        assert sim.scan().unallocated_count >= 3

@@ -1,0 +1,145 @@
+"""OpenSSH server analog tests."""
+
+import pytest
+
+from repro.core.protection import ProtectionLevel, policy_for
+from repro.core.simulation import Simulation, SimulationConfig
+from repro.errors import WorkloadError
+
+
+def make_sim(level=ProtectionLevel.NONE, seed=0):
+    return Simulation(
+        SimulationConfig(server="openssh", level=level, seed=seed, key_bits=256, memory_mb=8)
+    )
+
+
+class TestLifecycle:
+    def test_double_start_rejected(self):
+        sim = make_sim()
+        sim.start_server()
+        with pytest.raises(WorkloadError):
+            sim.server.start()
+
+    def test_connection_without_start(self):
+        sim = make_sim()
+        with pytest.raises(WorkloadError):
+            sim.server.open_connection()
+
+    def test_stop_closes_connections(self):
+        sim = make_sim()
+        sim.start_server()
+        sim.hold_connections(3)
+        children = [c.child for c in sim.server.connections]
+        sim.stop_server()
+        assert all(not child.alive for child in children)
+        assert sim.server.connections == []
+
+    def test_restart(self):
+        sim = make_sim()
+        sim.start_server()
+        sim.stop_server()
+        sim.start_server()
+        assert sim.server.running
+
+
+class TestConnections:
+    def test_baseline_reexec_child(self):
+        """Stock sshd re-executes per connection: the child re-reads
+        the key, so its copies are independent of the master's."""
+        sim = make_sim(ProtectionLevel.NONE)
+        sim.start_server()
+        conn = sim.server.open_connection()
+        assert conn.child.pid != sim.server.master.pid
+        assert conn.rsa is not sim.server.master_rsa
+        # Child has its own p copy: master BN+DER (2) + child BN+DER+mont (3).
+        assert len(sim.kernel.physmem.find_all(sim.key.p_bytes())) >= 4
+
+    def test_no_reexec_child_shares(self):
+        sim = make_sim(ProtectionLevel.LIBRARY)
+        sim.start_server()
+        sim.server.open_connection()
+        # One aligned copy, COW-shared.
+        assert len(sim.kernel.physmem.find_all(sim.key.p_bytes())) == 1
+
+    def test_handshake_is_real_crypto(self):
+        sim = make_sim()
+        sim.start_server()
+        conn = sim.server.open_connection()  # raises on decrypt mismatch
+        assert conn.rsa.to_key() == sim.key
+
+    def test_transfer_moves_bytes_and_time(self):
+        sim = make_sim()
+        sim.start_server()
+        conn = sim.server.open_connection()
+        before = sim.kernel.clock.now_us
+        conn.transfer(100 * 1024, sim.workload_rng)
+        assert conn.bytes_transferred == 100 * 1024
+        assert sim.kernel.clock.now_us > before
+
+    def test_transfer_after_close_rejected(self):
+        sim = make_sim()
+        sim.start_server()
+        conn = sim.server.open_connection()
+        conn.close()
+        with pytest.raises(WorkloadError):
+            conn.transfer(1024, sim.workload_rng)
+
+    def test_close_idempotent(self):
+        sim = make_sim()
+        sim.start_server()
+        conn = sim.server.open_connection()
+        conn.close()
+        conn.close()
+
+    def test_closed_connection_child_exits(self):
+        sim = make_sim()
+        sim.start_server()
+        conn = sim.server.open_connection()
+        child = conn.child
+        conn.close()
+        assert not child.alive
+
+    def test_set_concurrency(self):
+        sim = make_sim()
+        sim.start_server()
+        sim.server.set_concurrency(5)
+        assert len(sim.server.connections) == 5
+        sim.server.set_concurrency(2)
+        assert len(sim.server.connections) == 2
+        sim.server.set_concurrency(0)
+        assert sim.server.connections == []
+
+    def test_total_connections_counter(self):
+        sim = make_sim()
+        sim.start_server()
+        for _ in range(4):
+            sim.server.run_connection_cycle(8 * 1024)
+        assert sim.server.total_connections == 4
+
+
+class TestGracefulStop:
+    def test_graceful_scrubs_master_key(self):
+        sim = make_sim(ProtectionLevel.NONE)
+        sim.start_server()
+        sim.server.stop(graceful=True)
+        # Master's BN copies were cleared; only stale DER buffer and
+        # mont-free leftovers may remain, all unallocated.
+        report = sim.scan()
+        assert all(not match.allocated or match.region == "pagecache"
+                   for match in report.matches)
+
+    def test_crash_leaves_master_key(self):
+        sim = make_sim(ProtectionLevel.LIBRARY)
+        sim.start_server()
+        sim.server.stop(graceful=False)
+        report = sim.scan()
+        # The aligned page went to free memory uncleared: the paper's
+        # caveat about apps dying without cleanup.
+        assert report.unallocated_count >= 3
+
+    def test_graceful_protected_leaves_nothing(self):
+        sim = make_sim(ProtectionLevel.INTEGRATED)
+        sim.start_server()
+        sim.cycle_connections(3)
+        sim.stop_server()
+        assert sim.scan().total == 0

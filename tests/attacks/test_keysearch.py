@@ -1,0 +1,101 @@
+"""Key-pattern search tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.keysearch import (
+    AttackResult,
+    KeyPatternSet,
+    find_all_occurrences,
+)
+from repro.crypto.asn1 import encode_rsa_private_key
+from repro.crypto.pem import pem_encode
+
+
+def pem_for(key):
+    der = encode_rsa_private_key(
+        key.n, key.e, key.d, key.p, key.q, key.dmp1, key.dmq1, key.iqmp
+    )
+    return pem_encode(der)
+
+
+@pytest.fixture
+def patterns(rsa_key_512):
+    return KeyPatternSet.from_key(rsa_key_512, pem_for(rsa_key_512))
+
+
+class TestFindAllOccurrences:
+    def test_basic(self):
+        assert find_all_occurrences(b"abcabcabc", b"abc") == [0, 3, 6]
+
+    def test_overlapping(self):
+        assert find_all_occurrences(b"aaaa", b"aa") == [0, 1, 2]
+
+    def test_missing(self):
+        assert find_all_occurrences(b"abc", b"xyz") == []
+
+    def test_empty_needle_rejected(self):
+        with pytest.raises(ValueError):
+            find_all_occurrences(b"abc", b"")
+
+    @settings(max_examples=60, deadline=None)
+    @given(hay=st.binary(max_size=200), needle=st.binary(min_size=1, max_size=8))
+    def test_matches_are_real(self, hay, needle):
+        for offset in find_all_occurrences(hay, needle):
+            assert hay[offset : offset + len(needle)] == needle
+
+
+class TestKeyPatternSet:
+    def test_has_paper_patterns(self, patterns):
+        assert set(patterns.patterns) == {"d", "p", "q", "pem"}
+
+    def test_count_in(self, patterns, rsa_key_512):
+        data = b"junk" + rsa_key_512.p_bytes() + b"junk" + rsa_key_512.p_bytes()
+        counts = patterns.count_in(data)
+        assert counts["p"] == 2
+        assert counts["d"] == 0
+
+    def test_found_in(self, patterns, rsa_key_512):
+        assert patterns.found_in(b"x" + rsa_key_512.q_bytes())
+        assert not patterns.found_in(b"nothing here")
+
+    def test_locate_in_sorted(self, patterns, rsa_key_512):
+        data = rsa_key_512.q_bytes() + b"gap" + rsa_key_512.d_bytes()
+        hits = patterns.locate_in(data)
+        assert hits[0] == (0, "q")
+        assert hits[1][1] == "d"
+
+    def test_pem_probe_matches_pem_not_der(self, patterns, rsa_key_512):
+        pem = pem_for(rsa_key_512)
+        der = encode_rsa_private_key(
+            rsa_key_512.n, rsa_key_512.e, rsa_key_512.d, rsa_key_512.p,
+            rsa_key_512.q, rsa_key_512.dmp1, rsa_key_512.dmq1, rsa_key_512.iqmp,
+        )
+        assert patterns.count_in(pem)["pem"] == 1
+        assert patterns.count_in(der)["pem"] == 0
+        # Raw parts do NOT appear in the base64 PEM body.
+        assert patterns.count_in(pem)["p"] == 0
+
+    def test_missing_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            KeyPatternSet({"d": b"x"})
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            KeyPatternSet({"d": b"", "p": b"x", "q": b"x", "pem": b"x"})
+
+    def test_no_false_positives_in_random_data(self, patterns, rng):
+        noise = rng.randbytes(1 << 16)
+        assert patterns.count_in(noise) == {"d": 0, "p": 0, "q": 0, "pem": 0}
+
+
+class TestAttackResult:
+    def test_success_semantics(self):
+        miss = AttackResult(counts={"d": 0, "p": 0, "q": 0, "pem": 0})
+        assert not miss.success and miss.total_copies == 0
+        hit = AttackResult(counts={"d": 0, "p": 2, "q": 1, "pem": 0})
+        assert hit.success and hit.total_copies == 3
+
+    def test_empty_counts(self):
+        assert not AttackResult().success

@@ -1,0 +1,144 @@
+"""Tests for the /proc scanmemory surface and the core-dump attack."""
+
+import pytest
+
+from repro.attacks.coredump import CoreDumpAttack, dump_core
+from repro.attacks.lkm import (
+    format_scan_report,
+    install_scanmemory,
+    remove_scanmemory,
+)
+from repro.core.protection import ProtectionLevel
+from repro.core.simulation import Simulation, SimulationConfig
+from repro.errors import FileNotFoundError_
+from repro.kernel.syscalls import SyscallInterface
+
+
+def make_sim(level=ProtectionLevel.NONE):
+    return Simulation(
+        SimulationConfig(server="openssh", level=level, seed=13,
+                         key_bits=256, memory_mb=8)
+    )
+
+
+class TestProcScanmemory:
+    def test_reading_proc_entry_runs_scan(self):
+        sim = make_sim()
+        sim.start_server()
+        install_scanmemory(sim.kernel, sim.patterns, procname="sshmem")
+        user = SyscallInterface(sim.kernel, sim.kernel.create_process("cat"))
+        fd = user.open("/proc/sshmem")
+        text = user.read_all(fd).decode("ascii")
+        user.close(fd)
+        assert text.startswith("Request recieved")
+        assert "Full match found for d of size" in text
+        assert "processes:" in text
+
+    def test_output_names_owning_pids(self):
+        sim = make_sim()
+        sim.start_server()
+        install_scanmemory(sim.kernel, sim.patterns)
+        master_pid = sim.server.master.pid
+        user = SyscallInterface(sim.kernel, sim.kernel.create_process("cat"))
+        fd = user.open("/proc/sshmem")
+        text = user.read_all(fd).decode("ascii")
+        assert f"processes: {master_pid}" in text
+
+    def test_fresh_scan_per_read(self):
+        sim = make_sim()
+        sim.start_server()
+        install_scanmemory(sim.kernel, sim.patterns)
+        user = SyscallInterface(sim.kernel, sim.kernel.create_process("cat"))
+        fd = user.open("/proc/sshmem")
+        before = user.read_all(fd)
+        sim.hold_connections(6)  # state changes between reads
+        fd2 = user.open("/proc/sshmem")
+        after = user.read_all(fd2)
+        assert len(after) > len(before)
+
+    def test_proc_reads_never_pollute_page_cache(self):
+        sim = make_sim()
+        sim.start_server()
+        install_scanmemory(sim.kernel, sim.patterns)
+        resident_before = sim.kernel.pagecache.resident_pages()
+        user = SyscallInterface(sim.kernel, sim.kernel.create_process("cat"))
+        for _ in range(3):
+            fd = user.open("/proc/sshmem")
+            user.read_all(fd)
+            user.close(fd)
+        assert sim.kernel.pagecache.resident_pages() == resident_before
+
+    def test_two_entries_coexist(self):
+        sim = make_sim()
+        sim.start_server()
+        install_scanmemory(sim.kernel, sim.patterns, procname="sshmem")
+        install_scanmemory(sim.kernel, sim.patterns, procname="apachemem")
+        listing = sim.kernel.vfs.list_dir("/proc")
+        assert "apachemem" in listing and "sshmem" in listing
+
+    def test_unload(self):
+        sim = make_sim()
+        install_scanmemory(sim.kernel, sim.patterns, procname="sshmem")
+        remove_scanmemory(sim.kernel, "sshmem")
+        user = SyscallInterface(sim.kernel, sim.kernel.create_process("cat"))
+        with pytest.raises(FileNotFoundError_):
+            user.open("/proc/sshmem")
+
+    def test_format_partial_lines(self):
+        sim = make_sim()
+        sim.start_server()
+        # Truncate a copy by hand to force a partial match.
+        report = sim.scan()
+        full_hits = [m for m in report.matches if m.pattern == "d" and m.full]
+        address = full_hits[0].address
+        sim.kernel.physmem.write(address + 24, b"\x00" * 8)
+        report2 = sim.scan()
+        text = format_scan_report(report2)
+        assert "Partial match found for d" in text
+
+
+class TestCoreDump:
+    def test_core_contains_resident_memory(self):
+        sim = make_sim()
+        sim.start_server()
+        image = dump_core(sim.server.master)
+        assert image.startswith(b"REPRO-CORE")
+        assert b"[heap]" in image
+
+    def test_baseline_core_leaks_key(self):
+        sim = make_sim(ProtectionLevel.NONE)
+        sim.start_server()
+        result = CoreDumpAttack(sim.server.master, sim.patterns).run()
+        assert result.success
+
+    def test_aligned_core_still_leaks_key(self):
+        """Alignment does NOT protect against a core of the key-owning
+        process: the aligned page is mapped, so it is in the dump."""
+        sim = make_sim(ProtectionLevel.INTEGRATED)
+        sim.start_server()
+        result = CoreDumpAttack(sim.server.master, sim.patterns).run()
+        assert result.success
+        assert result.total_copies == 3  # exactly the aligned d, p, q
+
+    def test_vault_core_leaks_nothing(self):
+        sim = make_sim(ProtectionLevel.HARDWARE)
+        sim.start_server()
+        result = CoreDumpAttack(sim.server.master, sim.patterns).run()
+        assert not result.success
+
+    def test_core_excludes_other_processes(self):
+        """A core of an unrelated process must not contain the key."""
+        sim = make_sim(ProtectionLevel.NONE)
+        sim.start_server()
+        bystander = sim.kernel.create_process("bystander")
+        addr = bystander.heap.malloc(64)
+        bystander.mm.write(addr, b"unrelated")
+        result = CoreDumpAttack(bystander, sim.patterns).run()
+        assert not result.success
+
+    def test_process_survives_gcore(self):
+        sim = make_sim()
+        sim.start_server()
+        dump_core(sim.server.master)
+        assert sim.server.master.alive
+        sim.cycle_connections(2)  # still serves

@@ -1,0 +1,141 @@
+"""Partial-match and multi-key scanner features (the LKM's extras)."""
+
+import pytest
+
+from repro.attacks.keysearch import KeyPatternSet
+from repro.attacks.scanner import MIN_MATCH_BYTES, MemoryScanner
+from repro.kernel.kernel import Kernel, KernelConfig
+
+
+def patterns_with(d=b"D" * 64):
+    return KeyPatternSet(
+        {"d": d, "p": b"P" * 64, "q": b"Q" * 64, "pem": b"M" * 64}
+    )
+
+
+@pytest.fixture
+def kern():
+    return Kernel(KernelConfig.vulnerable(memory_mb=4))
+
+
+class TestPartialMatches:
+    def test_full_match_flagged(self, kern):
+        pattern = bytes(range(1, 65))
+        kern.physmem.write(10000, pattern)
+        report = MemoryScanner(kern, patterns_with(d=pattern)).scan()
+        assert report.total == 1
+        assert report.matches[0].full
+        assert report.matches[0].matched_bytes == 64
+        assert report.full_count == 1 and report.partial_count == 0
+
+    def test_truncated_copy_reported_as_partial(self, kern):
+        """A copy whose tail was overwritten still identifies the key."""
+        pattern = bytes(range(1, 65))
+        kern.physmem.write(10000, pattern[:40])  # only 40 bytes survive
+        report = MemoryScanner(kern, patterns_with(d=pattern)).scan()
+        assert report.total == 1
+        match = report.matches[0]
+        assert not match.full
+        assert match.matched_bytes == 40
+        assert report.partial_count == 1
+
+    def test_below_min_not_reported(self, kern):
+        pattern = bytes(range(1, 65))
+        kern.physmem.write(10000, pattern[: MIN_MATCH_BYTES - 1])
+        report = MemoryScanner(kern, patterns_with(d=pattern)).scan()
+        assert report.total == 0
+
+    def test_partials_can_be_excluded(self, kern):
+        pattern = bytes(range(1, 65))
+        kern.physmem.write(10000, pattern[:30])
+        kern.physmem.write(20000, pattern)
+        scanner = MemoryScanner(kern, patterns_with(d=pattern),
+                                include_partial=False)
+        report = scanner.scan()
+        assert report.total == 1
+        assert report.matches[0].full
+
+    def test_match_at_end_of_memory(self, kern):
+        pattern = bytes(range(1, 65))
+        kern.physmem.write(kern.physmem.size - 30, pattern[:30])
+        report = MemoryScanner(kern, patterns_with(d=pattern)).scan()
+        assert report.total == 1
+        assert report.matches[0].matched_bytes == 30
+
+    def test_bad_min_match(self, kern):
+        with pytest.raises(ValueError):
+            MemoryScanner(kern, patterns_with(), min_match=0)
+
+
+class TestMultiKeyScan:
+    def test_combine_prefixes_names(self):
+        a = patterns_with()
+        b = KeyPatternSet(
+            {"d": b"1" * 64, "p": b"2" * 64, "q": b"3" * 64, "pem": b"4" * 64}
+        )
+        combined = KeyPatternSet.combine({"ssh": a, "web": b})
+        assert set(combined.patterns) == {
+            "ssh.d", "ssh.p", "ssh.q", "ssh.pem",
+            "web.d", "web.p", "web.q", "web.pem",
+        }
+
+    def test_scan_attributes_to_right_key(self, kern):
+        a = patterns_with()
+        b = KeyPatternSet(
+            {"d": b"1" * 64, "p": b"2" * 64, "q": b"3" * 64, "pem": b"4" * 64}
+        )
+        kern.physmem.write(8192, b"D" * 64)     # ssh d
+        kern.physmem.write(16384, b"3" * 64)    # web q
+        combined = KeyPatternSet.combine({"ssh": a, "web": b})
+        report = MemoryScanner(kern, combined).scan()
+        assert report.by_pattern() == {"ssh.d": 1, "web.q": 1}
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            KeyPatternSet({}, canonical=False)
+
+    def test_non_canonical_allows_any_names(self):
+        custom = KeyPatternSet({"session-token": b"T" * 32}, canonical=False)
+        assert custom.count_in(b"xx" + b"T" * 32)["session-token"] == 1
+
+    def test_dual_server_audit(self, rsa_key_256):
+        """Two servers, two keys, one machine, one scan."""
+        from repro.apps.httpd import ApacheConfig, ApacheServer
+        from repro.apps.sshd import OpenSSHServer, SshdConfig
+        from repro.crypto.asn1 import encode_rsa_private_key
+        from repro.crypto.pem import pem_encode
+        from repro.crypto.randsrc import DeterministicRandom
+        from repro.crypto.rsa import generate_rsa_key
+        from repro.kernel.fs import SimFileSystem
+
+        kern = Kernel(KernelConfig.vulnerable(memory_mb=8))
+        root = SimFileSystem("ext2", label="root")
+        kern.vfs.mount("/", root)
+
+        keys = {}
+        for name, path, seed in (
+            ("ssh", "sshkey.pem", 501), ("web", "webkey.pem", 502)
+        ):
+            key = generate_rsa_key(256, DeterministicRandom(seed))
+            der = encode_rsa_private_key(
+                key.n, key.e, key.d, key.p, key.q,
+                key.dmp1, key.dmq1, key.iqmp,
+            )
+            root.create_file(path, pem_encode(der))
+            keys[name] = (key, pem_encode(der))
+
+        sshd = OpenSSHServer(kern, SshdConfig(key_path="/sshkey.pem"))
+        httpd = ApacheServer(kern, ApacheConfig(key_path="/webkey.pem"))
+        sshd.start()
+        httpd.start()
+        sshd.open_connection()
+        httpd.handle_request(4096)
+
+        combined = KeyPatternSet.combine(
+            {name: KeyPatternSet.from_key(key, pem)
+             for name, (key, pem) in keys.items()}
+        )
+        report = MemoryScanner(kern, combined).scan()
+        found = report.by_pattern()
+        assert any(name.startswith("ssh.") for name in found)
+        assert any(name.startswith("web.") for name in found)

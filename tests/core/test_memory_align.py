@@ -1,0 +1,149 @@
+"""Tests for RSA_memory_align — the paper's novel mechanism."""
+
+import pytest
+
+from repro.crypto.rsa import int_to_bytes
+from repro.core.memory_align import rsa_memory_align, rsa_memory_lock
+from repro.errors import RsaStructError
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.ssl.bn import BnFlag, bn_bin2bn
+from repro.ssl.engine import rsa_private_operation
+from repro.ssl.rsa_st import PART_NAMES, RsaFlag, RsaStruct
+
+
+@pytest.fixture
+def kern():
+    return Kernel(KernelConfig.vulnerable(memory_mb=4))
+
+
+@pytest.fixture
+def proc(kern):
+    return kern.create_process("app")
+
+
+def make_struct(proc, key):
+    parts = {
+        name: bn_bin2bn(proc, int_to_bytes(getattr(key, name))) for name in PART_NAMES
+    }
+    return RsaStruct(proc, n=key.n, e=key.e, parts=parts)
+
+
+class TestAlign:
+    def test_single_copy_per_part(self, kern, proc, rsa_key_256):
+        rsa = make_struct(proc, rsa_key_256)
+        rsa_memory_align(rsa)
+        for pattern in (rsa_key_256.d_bytes(), rsa_key_256.p_bytes(), rsa_key_256.q_bytes()):
+            assert len(kern.physmem.find_all(pattern)) == 1
+
+    def test_originals_zeroed(self, kern, proc, rsa_key_256):
+        rsa = make_struct(proc, rsa_key_256)
+        original_addrs = {name: rsa.bn[name].addr for name in PART_NAMES}
+        sizes = {name: rsa.bn[name].top for name in PART_NAMES}
+        rsa_memory_align(rsa)
+        for name, addr in original_addrs.items():
+            if rsa.bn[name].addr == addr:
+                continue  # repointed to the same page? never happens, but guard
+            assert proc.mm.read(addr, sizes[name]) == b"\x00" * sizes[name]
+
+    def test_parts_contiguous_on_one_region(self, proc, rsa_key_256):
+        rsa = make_struct(proc, rsa_key_256)
+        region = rsa_memory_align(rsa)
+        cursor = region
+        for name in PART_NAMES:
+            assert rsa.bn[name].addr == cursor
+            cursor += rsa.bn[name].top
+        assert region % 4096 == 0
+
+    def test_flags(self, proc, rsa_key_256):
+        rsa = make_struct(proc, rsa_key_256)
+        rsa_memory_align(rsa)
+        assert not rsa.flags & RsaFlag.CACHE_PRIVATE
+        assert not rsa.flags & RsaFlag.CACHE_PUBLIC
+        for name in PART_NAMES:
+            assert rsa.bn[name].flags & BnFlag.STATIC_DATA
+
+    def test_key_page_mlocked(self, kern, proc, rsa_key_256):
+        rsa = make_struct(proc, rsa_key_256)
+        region = rsa_memory_align(rsa)
+        proc.mm.read(region, 1)
+        frame = proc.mm.translate(region) // 4096
+        assert kern.page(frame).locked
+        vpns = [vpn for vpn, _ in proc.mm.swap_out_candidates()]
+        assert region // 4096 not in vpns
+
+    def test_key_still_usable(self, proc, rsa_key_256):
+        rsa = make_struct(proc, rsa_key_256)
+        rsa_memory_align(rsa)
+        assert rsa.to_key() == rsa_key_256
+        m = 99
+        assert rsa_private_operation(rsa, rsa_key_256.public_op(m)) == m
+
+    def test_existing_mont_cache_cleared(self, kern, proc, rsa_key_256):
+        rsa = make_struct(proc, rsa_key_256)
+        rsa_private_operation(rsa, 2)  # builds the cache
+        rsa_memory_align(rsa)
+        assert rsa.mont == {}
+        assert len(kern.physmem.find_all(rsa_key_256.p_bytes())) == 1
+
+    def test_double_align_rejected(self, proc, rsa_key_256):
+        rsa = make_struct(proc, rsa_key_256)
+        rsa_memory_align(rsa)
+        with pytest.raises(RsaStructError):
+            rsa_memory_align(rsa)
+
+    def test_align_freed_rejected(self, proc, rsa_key_256):
+        rsa = make_struct(proc, rsa_key_256)
+        rsa.rsa_free()
+        with pytest.raises(RsaStructError):
+            rsa_memory_align(rsa)
+
+
+class TestCowPreservation:
+    """The headline property: one physical key page across N forks."""
+
+    def test_children_share_key_page(self, kern, proc, rsa_key_256):
+        rsa = make_struct(proc, rsa_key_256)
+        region = rsa_memory_align(rsa)
+        children = [kern.fork(proc) for _ in range(6)]
+        # Children perform private ops; the key page is never written.
+        for child in children:
+            view = rsa.view_in(child)
+            m = 7
+            assert rsa_private_operation(view, rsa_key_256.public_op(m)) == m
+        assert len(kern.physmem.find_all(rsa_key_256.p_bytes())) == 1
+        frame = proc.mm.translate(region) // 4096
+        assert kern.page(frame).count == 7
+
+    def test_unaligned_children_duplicate(self, kern, proc, rsa_key_256):
+        """Counter-case: with the stock cache, every child mints its
+        own p/q copies."""
+        rsa = make_struct(proc, rsa_key_256)
+        children = [kern.fork(proc) for _ in range(4)]
+        for child in children:
+            rsa_private_operation(rsa.view_in(child), 2)
+        copies = len(kern.physmem.find_all(rsa_key_256.p_bytes()))
+        assert copies >= 5  # original BN + 4 children's mont caches
+
+
+class TestMemoryLock:
+    """OpenSSL's stock RSA_memory_lock, kept for comparison."""
+
+    def test_coalesces_but_leaks(self, kern, proc, rsa_key_256):
+        rsa = make_struct(proc, rsa_key_256)
+        rsa_memory_lock(rsa)
+        assert rsa.aligned  # coalesced
+        # Originals freed WITHOUT clearing: two copies of p remain.
+        assert len(kern.physmem.find_all(rsa_key_256.p_bytes())) == 2
+
+    def test_key_still_usable(self, proc, rsa_key_256):
+        rsa = make_struct(proc, rsa_key_256)
+        rsa_memory_lock(rsa)
+        assert rsa.to_key() == rsa_key_256
+
+    def test_no_mlock(self, kern, proc, rsa_key_256):
+        rsa = make_struct(proc, rsa_key_256)
+        region = rsa_memory_lock(rsa)
+        proc.mm.read(region, 1)
+        phys = proc.mm.translate(region)
+        if phys is not None:
+            assert not kern.page(phys // 4096).locked

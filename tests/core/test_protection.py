@@ -1,0 +1,72 @@
+"""Protection-policy configuration tests."""
+
+import pytest
+
+from repro.core.protection import (
+    ProtectionLevel,
+    kernel_config_for,
+    policy_for,
+)
+
+
+class TestPolicies:
+    def test_none(self):
+        policy = policy_for(ProtectionLevel.NONE)
+        assert not policy.app_align and not policy.lib_align
+        assert not policy.kernel_zero and not policy.o_nocache
+        assert not policy.sshd_no_reexec
+        assert not policy.align_on_load
+
+    def test_application(self):
+        policy = policy_for(ProtectionLevel.APPLICATION)
+        assert policy.app_align and not policy.lib_align
+        assert not policy.kernel_zero
+        assert policy.sshd_no_reexec
+        assert policy.align_on_load
+
+    def test_library(self):
+        policy = policy_for(ProtectionLevel.LIBRARY)
+        assert policy.lib_align and not policy.app_align
+        assert not policy.kernel_zero
+
+    def test_kernel(self):
+        policy = policy_for(ProtectionLevel.KERNEL)
+        assert policy.kernel_zero
+        assert not policy.align_on_load
+        assert not policy.o_nocache
+
+    def test_integrated(self):
+        policy = policy_for(ProtectionLevel.INTEGRATED)
+        assert policy.lib_align and policy.kernel_zero and policy.o_nocache
+        assert policy.sshd_no_reexec
+
+    @pytest.mark.parametrize("level", list(ProtectionLevel))
+    def test_policy_level_matches(self, level):
+        assert policy_for(level).level is level
+
+
+class TestKernelConfigFor:
+    def test_stays_vulnerable(self):
+        """The paper re-attacks the *same* 2.6.10 kernel, only patched
+        with its countermeasures — never upgraded."""
+        for level in ProtectionLevel:
+            config = kernel_config_for(policy_for(level))
+            assert config.version == (2, 6, 10)
+
+    def test_kernel_patch_mapping(self):
+        config = kernel_config_for(policy_for(ProtectionLevel.KERNEL))
+        assert config.zero_on_free and config.zero_on_unmap
+        assert not config.o_nocache_supported
+
+    def test_integrated_mapping(self):
+        config = kernel_config_for(policy_for(ProtectionLevel.INTEGRATED))
+        assert config.zero_on_free and config.o_nocache_supported
+
+    def test_app_level_needs_no_kernel_change(self):
+        config = kernel_config_for(policy_for(ProtectionLevel.APPLICATION))
+        assert not config.zero_on_free
+        assert not config.o_nocache_supported
+
+    def test_memory_override(self):
+        config = kernel_config_for(policy_for(ProtectionLevel.NONE), memory_mb=64)
+        assert config.memory_mb == 64

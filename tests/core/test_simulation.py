@@ -1,0 +1,101 @@
+"""Simulation facade tests."""
+
+import pytest
+
+from repro.core.protection import ProtectionLevel
+from repro.core.simulation import Simulation, SimulationConfig
+from repro.errors import WorkloadError
+
+
+def sim_for(**kwargs):
+    kwargs.setdefault("key_bits", 256)
+    kwargs.setdefault("memory_mb", 8)
+    return Simulation(SimulationConfig(**kwargs))
+
+
+class TestConstruction:
+    def test_unknown_server_rejected(self):
+        with pytest.raises(WorkloadError):
+            sim_for(server="nginx")
+
+    def test_key_file_installed(self):
+        sim = sim_for(server="openssh")
+        assert sim.kernel.vfs.exists("/etc/ssh/ssh_host_rsa_key")
+        pem = bytes(sim.kernel.vfs.lookup("/etc/ssh/ssh_host_rsa_key").data)
+        assert pem == sim.pem
+
+    def test_apache_key_path(self):
+        sim = sim_for(server="apache")
+        assert sim.kernel.vfs.exists("/etc/apache2/ssl/server.key")
+
+    def test_root_fs_default_by_level(self):
+        assert sim_for(level=ProtectionLevel.NONE).root_fs.fstype == "reiser"
+        assert sim_for(level=ProtectionLevel.INTEGRATED).root_fs.fstype == "ext2"
+        assert sim_for(level=ProtectionLevel.APPLICATION).root_fs.fstype == "ext2"
+
+    def test_root_fs_override(self):
+        sim = sim_for(root_fstype="ext2")
+        assert sim.root_fs.fstype == "ext2"
+
+    def test_kernel_matches_policy(self):
+        sim = sim_for(level=ProtectionLevel.INTEGRATED)
+        assert sim.kernel.config.zero_on_free
+        assert sim.kernel.config.o_nocache_supported
+
+    def test_deterministic_key(self):
+        assert sim_for(seed=5).key == sim_for(seed=5).key
+        assert sim_for(seed=5).key != sim_for(seed=6).key
+
+    def test_reiser_preloads_pem(self):
+        """Paper §3.2 observation (1): the key is in memory at t=0."""
+        sim = sim_for(level=ProtectionLevel.NONE)
+        report = sim.scan()
+        assert report.by_pattern().get("pem", 0) == 1
+        assert report.matches[0].region == "pagecache"
+
+    def test_no_aging_option(self):
+        sim = Simulation(
+            SimulationConfig(key_bits=256, memory_mb=8, age_memory=False)
+        )
+        assert sim.kernel._aged_holders == []
+
+
+class TestDriving:
+    def test_start_stop(self):
+        sim = sim_for()
+        sim.start_server()
+        assert sim.server.running
+        sim.stop_server()
+        assert not sim.server.running
+
+    def test_cycle_and_hold(self):
+        sim = sim_for()
+        sim.start_server()
+        sim.cycle_connections(3)
+        assert sim.server.total_connections == 3
+        sim.hold_connections(4)
+        assert len(sim.server.connections) == 4
+        sim.hold_connections(1)
+        assert len(sim.server.connections) == 1
+
+    def test_apache_cycle(self):
+        sim = sim_for(server="apache")
+        sim.start_server()
+        sim.cycle_connections(5)
+        assert sim.server.total_requests == 5
+
+    def test_scan_finds_master_copies(self):
+        sim = sim_for()
+        sim.start_server()
+        report = sim.scan()
+        assert report.total >= 4
+        assert report.allocated_count == report.total
+
+    def test_attacks_runnable(self):
+        sim = sim_for()
+        sim.start_server()
+        sim.cycle_connections(5)
+        ext2 = sim.run_ext2_attack(50)
+        assert ext2.disclosed_bytes == 50 * 4096
+        ntty = sim.run_ntty_attack()
+        assert ntty.coverage is not None

@@ -1,0 +1,79 @@
+"""Primality and prime-generation tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.primes import generate_prime, is_probable_prime
+from repro.crypto.randsrc import DeterministicRandom
+from repro.errors import KeyGenerationError
+
+KNOWN_PRIMES = [2, 3, 5, 7, 11, 13, 101, 7919, 104729, 2**31 - 1, 2**61 - 1]
+KNOWN_COMPOSITES = [1, 0, -7, 4, 9, 15, 100, 7917, 2**31, 2**61 - 3]
+# Carmichael numbers fool the Fermat test but not Miller-Rabin.
+CARMICHAEL = [561, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265]
+
+
+class TestIsProbablePrime:
+    @pytest.mark.parametrize("p", KNOWN_PRIMES)
+    def test_known_primes(self, p):
+        assert is_probable_prime(p)
+
+    @pytest.mark.parametrize("n", KNOWN_COMPOSITES)
+    def test_known_composites(self, n):
+        assert not is_probable_prime(n)
+
+    @pytest.mark.parametrize("n", CARMICHAEL)
+    def test_carmichael_numbers_rejected(self, n):
+        assert not is_probable_prime(n)
+
+    def test_large_prime(self):
+        # 2^127 - 1 is a Mersenne prime, above the deterministic limit
+        # for some witnesses but well-testable.
+        assert is_probable_prime(2**127 - 1)
+        assert not is_probable_prime(2**127 - 3)
+
+    @settings(max_examples=200, deadline=None)
+    @given(n=st.integers(2, 100000))
+    def test_agrees_with_trial_division(self, n):
+        by_trial = n > 1 and all(n % d for d in range(2, int(n**0.5) + 1))
+        assert is_probable_prime(n) == by_trial
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=st.integers(2, 2**40), b=st.integers(2, 2**40))
+    def test_products_are_composite(self, a, b):
+        assert not is_probable_prime(a * b)
+
+
+class TestGeneratePrime:
+    def test_bit_length_exact(self):
+        rng = DeterministicRandom(1)
+        for bits in (16, 64, 128, 256):
+            p = generate_prime(bits, rng)
+            assert p.bit_length() == bits
+            assert is_probable_prime(p)
+
+    def test_top_two_bits_set(self):
+        rng = DeterministicRandom(2)
+        p = generate_prime(64, rng)
+        assert (p >> 62) & 0b11 == 0b11
+
+    def test_avoid(self):
+        rng1 = DeterministicRandom(3)
+        p = generate_prime(32, rng1)
+        rng2 = DeterministicRandom(3)
+        q = generate_prime(32, rng2, avoid=p)
+        assert q != p
+
+    def test_deterministic(self):
+        assert generate_prime(64, DeterministicRandom(7)) == generate_prime(
+            64, DeterministicRandom(7)
+        )
+
+    def test_too_small_rejected(self):
+        with pytest.raises(KeyGenerationError):
+            generate_prime(4, DeterministicRandom(1))
+
+    def test_odd(self):
+        p = generate_prime(48, DeterministicRandom(11))
+        assert p % 2 == 1

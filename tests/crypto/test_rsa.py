@@ -1,0 +1,160 @@
+"""RSA substrate tests: keygen, CRT, PKCS#1 v1.5."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.primes import is_probable_prime
+from repro.crypto.randsrc import DeterministicRandom
+from repro.crypto.rsa import RsaKey, bytes_to_int, generate_rsa_key, int_to_bytes
+from repro.errors import CryptoError, KeyGenerationError, PaddingError, SignatureError
+
+
+class TestKeyGeneration:
+    def test_key_structure(self, rsa_key_512):
+        key = rsa_key_512
+        assert key.bits == 512
+        assert key.n == key.p * key.q
+        assert key.p > key.q  # OpenSSL convention
+        assert is_probable_prime(key.p) and is_probable_prime(key.q)
+
+    def test_crt_parameters(self, rsa_key_512):
+        key = rsa_key_512
+        assert key.dmp1 == key.d % (key.p - 1)
+        assert key.dmq1 == key.d % (key.q - 1)
+        assert (key.iqmp * key.q) % key.p == 1
+
+    def test_ed_congruence(self, rsa_key_512):
+        key = rsa_key_512
+        phi = (key.p - 1) * (key.q - 1)
+        assert (key.e * key.d) % phi == 1
+
+    def test_deterministic(self):
+        a = generate_rsa_key(256, DeterministicRandom(9))
+        b = generate_rsa_key(256, DeterministicRandom(9))
+        assert a == b
+
+    def test_different_seeds_different_keys(self):
+        a = generate_rsa_key(256, DeterministicRandom(1))
+        b = generate_rsa_key(256, DeterministicRandom(2))
+        assert a.n != b.n
+
+    def test_invalid_sizes(self):
+        with pytest.raises(KeyGenerationError):
+            generate_rsa_key(63)
+        with pytest.raises(KeyGenerationError):
+            generate_rsa_key(257)
+
+    def test_size_bytes(self, rsa_key_512):
+        assert rsa_key_512.size_bytes == 64
+
+
+class TestRawOps:
+    def test_roundtrip(self, rsa_key_512):
+        m = 0x123456789ABCDEF
+        assert rsa_key_512.private_op(rsa_key_512.public_op(m)) == m
+
+    def test_crt_matches_plain(self, rsa_key_512):
+        for m in (2, 12345, rsa_key_512.n - 2):
+            assert rsa_key_512.private_op(m, use_crt=True) == rsa_key_512.private_op(
+                m, use_crt=False
+            )
+
+    def test_out_of_range(self, rsa_key_512):
+        with pytest.raises(CryptoError):
+            rsa_key_512.public_op(rsa_key_512.n)
+        with pytest.raises(CryptoError):
+            rsa_key_512.private_op(-1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(m=st.integers(0, 2**200))
+    def test_property_roundtrip(self, rsa_key_512, m):
+        m %= rsa_key_512.n
+        assert rsa_key_512.public_op(rsa_key_512.private_op(m)) == m
+
+
+class TestSignVerify:
+    def test_sign_verify(self, rsa_key_512):
+        sig = rsa_key_512.sign(b"message")
+        rsa_key_512.verify(b"message", sig)
+
+    def test_tampered_message(self, rsa_key_512):
+        sig = rsa_key_512.sign(b"message")
+        with pytest.raises(SignatureError):
+            rsa_key_512.verify(b"messagX", sig)
+
+    def test_tampered_signature(self, rsa_key_512):
+        sig = bytearray(rsa_key_512.sign(b"message"))
+        sig[10] ^= 1
+        with pytest.raises(SignatureError):
+            rsa_key_512.verify(b"message", bytes(sig))
+
+    def test_wrong_length_signature(self, rsa_key_512):
+        with pytest.raises(SignatureError):
+            rsa_key_512.verify(b"message", b"short")
+
+    def test_signature_deterministic(self, rsa_key_512):
+        assert rsa_key_512.sign(b"m") == rsa_key_512.sign(b"m")
+
+
+class TestEncryptDecrypt:
+    def test_roundtrip(self, rsa_key_512, rng):
+        ct = rsa_key_512.encrypt(b"session-key", rng)
+        assert rsa_key_512.decrypt(ct) == b"session-key"
+
+    def test_roundtrip_no_crt(self, rsa_key_512, rng):
+        ct = rsa_key_512.encrypt(b"session-key", rng)
+        assert rsa_key_512.decrypt(ct, use_crt=False) == b"session-key"
+
+    def test_randomized_padding(self, rsa_key_512, rng):
+        assert rsa_key_512.encrypt(b"x", rng) != rsa_key_512.encrypt(b"x", rng)
+
+    def test_too_long_payload(self, rsa_key_512, rng):
+        with pytest.raises(PaddingError):
+            rsa_key_512.encrypt(b"z" * (rsa_key_512.size_bytes - 10), rng)
+
+    def test_wrong_length_ciphertext(self, rsa_key_512):
+        with pytest.raises(PaddingError):
+            rsa_key_512.decrypt(b"short")
+
+    def test_corrupt_ciphertext(self, rsa_key_512, rng):
+        ct = bytearray(rsa_key_512.encrypt(b"hi", rng))
+        ct[0] ^= 0xFF
+        with pytest.raises(PaddingError):
+            rsa_key_512.decrypt(bytes(ct))
+
+    @settings(max_examples=15, deadline=None)
+    @given(payload=st.binary(min_size=0, max_size=40))
+    def test_property_roundtrip(self, rsa_key_512, payload):
+        rng = DeterministicRandom(sum(payload) + len(payload))
+        ct = rsa_key_512.encrypt(payload, rng)
+        assert rsa_key_512.decrypt(ct) == payload
+
+
+class TestByteHelpers:
+    def test_int_to_bytes_minimal(self):
+        assert int_to_bytes(0) == b"\x00"
+        assert int_to_bytes(255) == b"\xff"
+        assert int_to_bytes(256) == b"\x01\x00"
+
+    def test_int_to_bytes_fixed(self):
+        assert int_to_bytes(5, 4) == b"\x00\x00\x00\x05"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bytes(-1)
+
+    @settings(max_examples=100, deadline=None)
+    @given(n=st.integers(0, 2**256))
+    def test_roundtrip(self, n):
+        assert bytes_to_int(int_to_bytes(n)) == n
+
+    def test_part_bytes(self, rsa_key_512):
+        parts = rsa_key_512.part_bytes()
+        assert set(parts) == {"d", "p", "q", "dmp1", "dmq1", "iqmp"}
+        assert bytes_to_int(parts["p"]) == rsa_key_512.p
+
+    def test_public_only_strips_private(self, rsa_key_512):
+        pub = rsa_key_512.public_only()
+        assert pub.n == rsa_key_512.n and pub.e == rsa_key_512.e
+        assert pub.d == 0 and pub.p == 0 and pub.q == 0

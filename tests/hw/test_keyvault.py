@@ -1,0 +1,150 @@
+"""Hardware key-vault tests: the paper's special-hardware endpoint."""
+
+import pytest
+
+from repro.core.hardware import offload_to_vault
+from repro.core.protection import ProtectionLevel
+from repro.core.simulation import Simulation, SimulationConfig
+from repro.crypto.rsa import int_to_bytes
+from repro.errors import RsaStructError
+from repro.hw.keyvault import KeyVault
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.ssl.bn import bn_bin2bn
+from repro.ssl.engine import rsa_private_operation, rsa_public_operation
+from repro.ssl.rsa_st import PART_NAMES, RsaStruct
+
+
+@pytest.fixture
+def kern():
+    return Kernel(KernelConfig(version=(2, 6, 10), memory_mb=4, has_key_vault=True))
+
+
+@pytest.fixture
+def proc(kern):
+    return kern.create_process("daemon")
+
+
+def make_struct(proc, key):
+    parts = {
+        name: bn_bin2bn(proc, int_to_bytes(getattr(key, name)))
+        for name in PART_NAMES
+    }
+    return RsaStruct(proc, n=key.n, e=key.e, parts=parts)
+
+
+class TestKeyVaultDevice:
+    def test_store_and_op(self, kern, rsa_key_256):
+        handle = kern.vault.store(rsa_key_256)
+        m = 12345
+        assert kern.vault.private_op(handle, rsa_key_256.public_op(m)) == m
+        assert kern.vault.ops_performed == 1
+
+    def test_unknown_handle(self, kern):
+        with pytest.raises(RsaStructError):
+            kern.vault.private_op(42, 1)
+
+    def test_destroy(self, kern, rsa_key_256):
+        handle = kern.vault.store(rsa_key_256)
+        kern.vault.destroy(handle)
+        assert len(kern.vault) == 0
+        with pytest.raises(RsaStructError):
+            kern.vault.destroy(handle)
+
+    def test_op_charges_device_time(self, kern, rsa_key_256):
+        handle = kern.vault.store(rsa_key_256)
+        before = kern.clock.now_us
+        kern.vault.private_op(handle, 2)
+        assert kern.clock.now_us - before >= 10_000
+
+    def test_no_vault_by_default(self):
+        kern = Kernel(KernelConfig.vulnerable(memory_mb=4))
+        assert kern.vault is None
+
+
+class TestOffload:
+    def test_scrubs_all_ram_copies(self, kern, proc, rsa_key_256):
+        rsa = make_struct(proc, rsa_key_256)
+        offload_to_vault(rsa)
+        for pattern in (rsa_key_256.d_bytes(), rsa_key_256.p_bytes(), rsa_key_256.q_bytes()):
+            assert not kern.physmem.find_all(pattern)
+
+    def test_scrubs_aligned_region(self, kern, proc, rsa_key_256):
+        from repro.core.memory_align import rsa_memory_align
+
+        rsa = make_struct(proc, rsa_key_256)
+        rsa_memory_align(rsa)
+        offload_to_vault(rsa)
+        assert not kern.physmem.find_all(rsa_key_256.p_bytes())
+
+    def test_scrubs_mont_cache(self, kern, proc, rsa_key_256):
+        rsa = make_struct(proc, rsa_key_256)
+        rsa_private_operation(rsa, 2)  # builds the cache
+        offload_to_vault(rsa)
+        assert not kern.physmem.find_all(rsa_key_256.p_bytes())
+
+    def test_ops_still_work(self, kern, proc, rsa_key_256):
+        rsa = make_struct(proc, rsa_key_256)
+        offload_to_vault(rsa)
+        m = 777
+        assert rsa_private_operation(rsa, rsa_key_256.public_op(m)) == m
+        assert rsa_public_operation(rsa, 5) == pow(5, rsa.e, rsa.n)
+
+    def test_to_key_refused(self, kern, proc, rsa_key_256):
+        rsa = make_struct(proc, rsa_key_256)
+        offload_to_vault(rsa)
+        with pytest.raises(RsaStructError):
+            rsa.to_key()
+
+    def test_double_offload_rejected(self, kern, proc, rsa_key_256):
+        rsa = make_struct(proc, rsa_key_256)
+        offload_to_vault(rsa)
+        with pytest.raises(RsaStructError):
+            offload_to_vault(rsa)
+
+    def test_no_vault_fitted(self, rsa_key_256):
+        kern = Kernel(KernelConfig.vulnerable(memory_mb=4))
+        proc = kern.create_process("p")
+        rsa = make_struct(proc, rsa_key_256)
+        with pytest.raises(RsaStructError):
+            offload_to_vault(rsa)
+
+    def test_view_in_child_uses_vault(self, kern, proc, rsa_key_256):
+        rsa = make_struct(proc, rsa_key_256)
+        offload_to_vault(rsa)
+        child = kern.fork(proc)
+        view = rsa.view_in(child)
+        m = 99
+        assert rsa_private_operation(view, rsa_key_256.public_op(m)) == m
+
+
+class TestHardwareLevelEndToEnd:
+    @pytest.mark.parametrize("server", ["openssh", "apache"])
+    def test_zero_copies_in_ram(self, server):
+        sim = Simulation(
+            SimulationConfig(server=server, level=ProtectionLevel.HARDWARE,
+                             seed=3, key_bits=256, memory_mb=8)
+        )
+        sim.start_server()
+        sim.cycle_connections(10)
+        assert sim.scan().total == 0
+
+    def test_full_disclosure_finds_nothing(self):
+        """Beyond the paper's software limit: even 100% disclosure
+        loses — the property the conclusion says needs hardware."""
+        sim = Simulation(
+            SimulationConfig(server="openssh", level=ProtectionLevel.HARDWARE,
+                             seed=3, key_bits=256, memory_mb=8)
+        )
+        sim.start_server()
+        sim.hold_connections(6)
+        assert not sim.patterns.found_in(sim.kernel.physmem.snapshot())
+        assert not sim.patterns.found_in(sim.kernel.swap.raw_dump())
+
+    def test_handshakes_served_by_device(self):
+        sim = Simulation(
+            SimulationConfig(server="openssh", level=ProtectionLevel.HARDWARE,
+                             seed=3, key_bits=256, memory_mb=8)
+        )
+        sim.start_server()
+        sim.cycle_connections(5)
+        assert sim.kernel.vault.ops_performed == 5

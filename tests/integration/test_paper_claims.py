@@ -1,0 +1,226 @@
+"""End-to-end reproduction of the paper's headline claims.
+
+Each test maps to a sentence in the abstract or the conclusion:
+
+1. "an attack that exposed the private key of an OpenSSH server within
+   1 minute, and ... an Apache HTTP server within 5 minutes";
+2. "disclosure [of] a portion of either allocated memory or unallocated
+   memory would effectively expose cryptographic keys";
+3. "our solutions ... can eliminate attacks that disclose unallocated
+   memory";
+4. "can mitigate the damage due to attacks that disclose portions of
+   allocated memory ... unless a large portion of allocated memory is
+   disclosed";
+5. "our techniques are efficient (i.e., imposing no performance
+   penalty)".
+"""
+
+import pytest
+
+from repro.analysis.perfbench import overhead_ratio, run_scp_stress, run_siege
+from repro.core.protection import ProtectionLevel
+from repro.core.simulation import Simulation, SimulationConfig
+
+
+def make_sim(server, level=ProtectionLevel.NONE, seed=7):
+    return Simulation(
+        SimulationConfig(server=server, level=level, seed=seed,
+                         key_bits=512, memory_mb=8)
+    )
+
+
+class TestClaim1AttackLatency:
+    def test_openssh_exposed_within_one_minute(self):
+        sim = make_sim("openssh")
+        sim.start_server()
+        sim.cycle_connections(30)
+        result = sim.run_ext2_attack(800)
+        assert result.success
+        assert result.elapsed_s < 60
+
+    def test_apache_exposed_within_five_minutes(self):
+        sim = make_sim("apache")
+        sim.start_server()
+        # Enough requests that prefork recycles workers (their pages —
+        # key copies included — drain uncleared into free memory).
+        sim.cycle_connections(60)
+        result = sim.run_ext2_attack(800)
+        assert result.success
+        assert result.elapsed_s < 300
+
+
+class TestClaim2BothMemoryKindsLeak:
+    def test_unallocated_memory_exposes_key(self):
+        """The ext2 leak reads only unallocated memory and wins."""
+        sim = make_sim("openssh")
+        sim.start_server()
+        sim.cycle_connections(30)
+        assert sim.run_ext2_attack(600).success
+
+    def test_allocated_memory_exposes_key(self):
+        """With kernel-level protection active, unallocated memory is
+        clean — yet the n_tty dump still wins via allocated copies."""
+        sim = make_sim("openssh", ProtectionLevel.KERNEL)
+        sim.start_server()
+        sim.hold_connections(12)
+        scan = sim.scan()
+        assert scan.unallocated_count == 0
+        assert scan.allocated_count > 50
+        successes = sum(sim.run_ntty_attack().success for _ in range(5))
+        assert successes == 5
+
+
+class TestClaim3UnallocatedEliminated:
+    @pytest.mark.parametrize("server", ["openssh", "apache"])
+    def test_kernel_level_eliminates_ext2_attack(self, server):
+        sim = make_sim(server, ProtectionLevel.KERNEL)
+        sim.start_server()
+        sim.cycle_connections(30)
+        result = sim.run_ext2_attack(800)
+        assert not result.success
+
+    @pytest.mark.parametrize("server", ["openssh", "apache"])
+    def test_integrated_eliminates_ext2_attack(self, server):
+        sim = make_sim(server, ProtectionLevel.INTEGRATED)
+        sim.start_server()
+        sim.cycle_connections(30)
+        assert not sim.run_ext2_attack(800).success
+
+    def test_unallocated_copies_zero_under_kernel_patch(self):
+        sim = make_sim("openssh", ProtectionLevel.KERNEL)
+        sim.start_server()
+        sim.cycle_connections(20)
+        sim.hold_connections(0)
+        assert sim.scan().unallocated_count == 0
+
+
+class TestClaim4AllocatedMitigated:
+    def test_integrated_single_copy(self):
+        """'only one copy of the private key appears in allocated
+        memory' — the three part-patterns share one page."""
+        sim = make_sim("openssh", ProtectionLevel.INTEGRATED)
+        sim.start_server()
+        sim.hold_connections(12)
+        report = sim.scan()
+        assert report.unallocated_count == 0
+        assert report.total == 3  # d, p, q on the aligned page
+        pages = {match.frame for match in report.matches}
+        assert len(pages) == 1
+
+    def test_success_rate_drops_to_coverage(self):
+        baseline = make_sim("openssh", ProtectionLevel.NONE)
+        baseline.start_server()
+        baseline.hold_connections(12)
+        base_rate = sum(
+            baseline.run_ntty_attack().success for _ in range(10)
+        ) / 10
+
+        protected = make_sim("openssh", ProtectionLevel.INTEGRATED)
+        protected.start_server()
+        protected.hold_connections(12)
+        results = [protected.run_ntty_attack() for _ in range(20)]
+        rate = sum(r.success for r in results) / len(results)
+        coverage = sum(r.coverage for r in results) / len(results)
+
+        assert base_rate == 1.0
+        assert rate < 0.9
+        assert abs(rate - coverage) < 0.3
+
+    def test_copies_found_drop_dramatically(self):
+        """Figure 7a / 17: tens of copies before, ~coverage*1 after."""
+        baseline = make_sim("apache", ProtectionLevel.NONE)
+        baseline.start_server()
+        baseline.hold_connections(12)
+        base_copies = sum(
+            baseline.run_ntty_attack().total_copies for _ in range(5)
+        ) / 5
+
+        protected = make_sim("apache", ProtectionLevel.INTEGRATED)
+        protected.start_server()
+        protected.hold_connections(12)
+        protected_copies = sum(
+            protected.run_ntty_attack().total_copies for _ in range(5)
+        ) / 5
+
+        assert base_copies > 10 * max(protected_copies, 1)
+
+    def test_large_disclosure_still_wins(self):
+        """The paper's caveat: at ~full coverage the single remaining
+        copy is exposed anyway — software alone cannot fix this."""
+        sim = make_sim("openssh", ProtectionLevel.INTEGRATED)
+        sim.start_server()
+        sim.hold_connections(4)
+        dump = sim.kernel.physmem.snapshot()  # 100% disclosure
+        assert sim.patterns.found_in(dump)
+
+
+class TestClaim5NoPerformancePenalty:
+    def test_openssh_scp_stress(self):
+        before = run_scp_stress(ProtectionLevel.NONE, transfers=120,
+                                key_bits=512, memory_mb=8)
+        after = run_scp_stress(ProtectionLevel.INTEGRATED, transfers=120,
+                               key_bits=512, memory_mb=8)
+        assert abs(overhead_ratio(before, after)) < 0.10
+
+    def test_apache_siege(self):
+        before = run_siege(ProtectionLevel.NONE, transactions=120,
+                           key_bits=512, memory_mb=8)
+        after = run_siege(ProtectionLevel.INTEGRATED, transactions=120,
+                          key_bits=512, memory_mb=8)
+        assert abs(overhead_ratio(before, after)) < 0.05
+        assert after.transaction_rate == pytest.approx(
+            before.transaction_rate, rel=0.05
+        )
+
+
+class TestSolutionHierarchy:
+    """§4: the strengths/limitations table of the four solutions."""
+
+    def test_align_only_leaves_ext2_window_after_crash(self):
+        sim = make_sim("openssh", ProtectionLevel.LIBRARY)
+        sim.start_server()
+        sim.cycle_connections(20)
+        sim.server.stop(graceful=False)
+        assert sim.run_ext2_attack(800).success
+
+    @pytest.mark.parametrize(
+        "level", [ProtectionLevel.APPLICATION, ProtectionLevel.LIBRARY]
+    )
+    def test_align_levels_starve_ext2_in_practice(self, level):
+        """§5.2: in the paper's re-examination runs, even the app/lib
+        levels yielded nothing to the ext2 attack *while the server ran
+        cleanly* — the caveat is about dying without cleanup."""
+        sim = make_sim("openssh", level)
+        sim.start_server()
+        sim.cycle_connections(20)
+        sim.hold_connections(8)
+        assert not sim.run_ext2_attack(800).success
+
+    def test_kernel_only_floods_allocated(self):
+        sim = make_sim("openssh", ProtectionLevel.KERNEL)
+        sim.start_server()
+        sim.hold_connections(12)
+        report = sim.scan()
+        assert report.allocated_count > 50
+        assert report.unallocated_count == 0
+
+    def test_integrated_strictly_strongest(self):
+        sim = make_sim("openssh", ProtectionLevel.INTEGRATED)
+        sim.start_server()
+        sim.hold_connections(12)
+        report = sim.scan()
+        assert report.total == 3
+        assert report.unallocated_count == 0
+        # Even the PEM page-cache copy is gone (O_NOCACHE).
+        assert report.by_pattern().get("pem", 0) == 0
+
+    def test_app_and_library_equivalent_memory_state(self):
+        reports = {}
+        for level in (ProtectionLevel.APPLICATION, ProtectionLevel.LIBRARY):
+            sim = make_sim("openssh", level)
+            sim.start_server()
+            sim.hold_connections(8)
+            reports[level] = sim.scan()
+        app, lib = reports.values()
+        assert app.total == lib.total
+        assert app.by_pattern() == lib.by_pattern()

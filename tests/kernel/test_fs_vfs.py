@@ -1,0 +1,238 @@
+"""Filesystem + VFS tests, including the ext2 mkdir leak."""
+
+import pytest
+
+from repro.errors import (
+    FileExistsError_,
+    FileNotFoundError_,
+    NoSpaceError,
+    NotADirectoryError_,
+)
+from repro.kernel.fs import DIR_HEADER_SIZE, SimFileSystem
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.kernel.vfs import O_CREAT, O_NOCACHE, O_RDONLY
+
+
+@pytest.fixture
+def kern():
+    return Kernel(KernelConfig.vulnerable(memory_mb=4))
+
+
+@pytest.fixture
+def fs():
+    return SimFileSystem("ext2", label="root")
+
+
+class TestFiles:
+    def test_create_lookup(self, fs):
+        fs.create_file("a.txt", b"content")
+        assert fs.lookup("a.txt").data == bytearray(b"content")
+        assert fs.exists("/a.txt")
+
+    def test_create_duplicate(self, fs):
+        fs.create_file("a.txt", b"x")
+        with pytest.raises(FileExistsError_):
+            fs.create_file("a.txt", b"y")
+
+    def test_lookup_missing(self, fs):
+        with pytest.raises(FileNotFoundError_):
+            fs.lookup("missing")
+
+    def test_nested_requires_parent(self, fs):
+        with pytest.raises(NotADirectoryError_):
+            fs.create_file("no/such/dir.txt", b"x")
+
+    def test_unlink(self, fs):
+        fs.create_file("a.txt", b"x")
+        fs.unlink("a.txt")
+        assert not fs.exists("a.txt")
+        with pytest.raises(FileNotFoundError_):
+            fs.unlink("a.txt")
+
+    def test_write_file_replaces(self, fs):
+        fs.create_file("a.txt", b"old")
+        fs.write_file("a.txt", b"new")
+        assert bytes(fs.lookup("a.txt").data) == b"new"
+
+    def test_capacity(self):
+        fs = SimFileSystem("ext2", capacity_blocks=3)
+        fs.create_file("a", b"")
+        fs.create_file("b", b"")
+        with pytest.raises(NoSpaceError):
+            fs.create_file("c", b"")
+
+    def test_list_dir(self, kern, fs):
+        fs.create_file("top.txt", b"")
+        fs.mkdir(kern, "sub")
+        fs.create_file("sub/inner.txt", b"")
+        assert fs.list_dir("") == ["sub", "top.txt"]
+        assert fs.list_dir("sub") == ["inner.txt"]
+
+    def test_unique_file_ids(self, fs):
+        a = fs.create_file("a", b"")
+        b = fs.create_file("b", b"")
+        assert a.file_id != b.file_id
+
+
+class TestMkdirLeak:
+    def test_vulnerable_combination(self, kern, fs):
+        assert fs.leaks_on_mkdir(kern)
+
+    def test_fixed_kernel_does_not_leak(self, fs):
+        kern = Kernel(KernelConfig.modern(memory_mb=4))
+        assert not fs.leaks_on_mkdir(kern)
+
+    def test_reiser_does_not_leak(self, kern):
+        fs = SimFileSystem("reiser")
+        assert not fs.leaks_on_mkdir(kern)
+
+    def test_mkdir_leaks_stale_memory(self, kern, fs):
+        # Plant a secret in a freed frame.
+        frame = kern.buddy.alloc_pages(0)
+        kern.physmem.write_frame(frame, b"PLANTED" * 64)
+        kern.buddy.free_pages(frame)
+        # Create enough dirs to cycle through the free pool.
+        for i in range(40):
+            fs.mkdir(kern, f"d{i}")
+        assert b"PLANTED" in fs.read_block_image()
+
+    def test_leak_bounded_per_dir(self, kern, fs):
+        block = fs.mkdir(kern, "one")
+        assert len(block) == kern.physmem.page_size
+        leaked = len(block) - DIR_HEADER_SIZE
+        assert leaked == 4072
+
+    def test_patched_kernel_leaks_only_zeros(self, fs):
+        kern = Kernel(KernelConfig.kernel_patched(memory_mb=4))
+        frame = kern.buddy.alloc_pages(0)
+        kern.physmem.write_frame(frame, b"PLANTED" * 64)
+        kern.buddy.free_pages(frame)
+        for i in range(40):
+            fs.mkdir(kern, f"d{i}")
+        image = fs.read_block_image()
+        assert b"PLANTED" not in image
+
+    def test_fixed_ext2_clears_block(self, fs):
+        kern = Kernel(KernelConfig.modern(memory_mb=4))
+        frame = kern.buddy.alloc_pages(0)
+        kern.physmem.write_frame(frame, b"PLANTED" * 64)
+        kern.buddy.free_pages(frame)
+        for i in range(40):
+            fs.mkdir(kern, f"d{i}")
+        assert b"PLANTED" not in fs.read_block_image()
+
+    def test_mkdir_duplicate(self, kern, fs):
+        fs.mkdir(kern, "dup")
+        with pytest.raises(FileExistsError_):
+            fs.mkdir(kern, "dup")
+
+    def test_buffer_cache_capped(self, kern, fs):
+        fs.buffer_cache_cap = 4
+        for i in range(10):
+            fs.mkdir(kern, f"d{i}")
+        assert len(fs._buffer_frames) == 4
+        released = fs.drop_buffers(kern)
+        assert released == 4
+        kern.buddy.check_invariants()
+
+
+class TestVfs:
+    def test_mount_resolve(self, kern, fs):
+        kern.vfs.mount("/", fs)
+        usb = SimFileSystem("vfat", label="usb")
+        kern.vfs.mount("/mnt/usb", usb)
+        got, rel = kern.vfs.resolve("/mnt/usb/file.bin")
+        assert got is usb and rel == "file.bin"
+        got, rel = kern.vfs.resolve("/etc/passwd")
+        assert got is fs and rel == "etc/passwd"
+
+    def test_double_mount_rejected(self, kern, fs):
+        kern.vfs.mount("/", fs)
+        with pytest.raises(FileNotFoundError_):
+            kern.vfs.mount("/", SimFileSystem("ext2"))
+
+    def test_relative_path_rejected(self, kern, fs):
+        kern.vfs.mount("/", fs)
+        with pytest.raises(FileNotFoundError_):
+            kern.vfs.resolve("etc/passwd")
+
+    def test_open_read_close(self, kern, fs):
+        kern.vfs.mount("/", fs)
+        fs.create_file("f.txt", b"0123456789")
+        proc = kern.create_process("p")
+        fd = kern.vfs.open(proc, "/f.txt")
+        assert kern.vfs.read(proc, fd, 4) == b"0123"
+        assert kern.vfs.read(proc, fd, 4) == b"4567"
+        assert kern.vfs.read_all(proc, fd) == b"89"
+        kern.vfs.close(proc, fd)
+
+    def test_open_creat(self, kern, fs):
+        kern.vfs.mount("/", fs)
+        proc = kern.create_process("p")
+        fd = kern.vfs.open(proc, "/new.txt", O_RDONLY | O_CREAT)
+        assert kern.vfs.read_all(proc, fd) == b""
+        assert fs.exists("new.txt")
+
+    def test_write_updates_and_invalidates(self, kern, fs):
+        kern.vfs.mount("/", fs)
+        fs.create_file("f.txt", b"aaaa")
+        proc = kern.create_process("p")
+        fd = kern.vfs.open(proc, "/f.txt")
+        kern.vfs.read(proc, fd, 4)  # populate cache
+        file_id = fs.lookup("f.txt").file_id
+        assert kern.pagecache.contains_file(file_id)
+        wfd = kern.vfs.open(proc, "/f.txt")
+        kern.vfs.write(proc, wfd, b"bbbb")
+        assert not kern.pagecache.contains_file(file_id)
+        assert bytes(fs.lookup("f.txt").data) == b"bbbb"
+
+    def test_read_populates_page_cache(self, kern, fs):
+        kern.vfs.mount("/", fs)
+        fs.create_file("key.pem", b"PEMDATA" * 100)
+        proc = kern.create_process("p")
+        fd = kern.vfs.open(proc, "/key.pem")
+        kern.vfs.read_all(proc, fd)
+        assert kern.pagecache.contains_file(fs.lookup("key.pem").file_id)
+        # And the content is findable in physical memory.
+        assert kern.physmem.find_all(b"PEMDATA")
+
+    def test_reiser_preloads_cache_at_mount(self, kern):
+        fs = SimFileSystem("reiser", label="root")
+        fs.create_file("key.pem", b"EAGERLY-CACHED")
+        kern.vfs.mount("/", fs)
+        assert kern.physmem.find_all(b"EAGERLY-CACHED")
+
+    def test_ext2_does_not_preload(self, kern, fs):
+        fs.create_file("key.pem", b"NOT-YET-CACHED")
+        kern.vfs.mount("/", fs)
+        assert not kern.physmem.find_all(b"NOT-YET-CACHED")
+
+
+class TestONocache:
+    def _setup(self, config):
+        kern = Kernel(config)
+        fs = SimFileSystem("ext2", label="root")
+        fs.create_file("key.pem", b"SENSITIVE-PEM" * 50)
+        kern.vfs.mount("/", fs)
+        proc = kern.create_process("p")
+        return kern, fs, proc
+
+    def test_nocache_evicts_on_patched_kernel(self):
+        kern, fs, proc = self._setup(KernelConfig.integrated(memory_mb=4))
+        fd = kern.vfs.open(proc, "/key.pem", O_RDONLY | O_NOCACHE)
+        data = kern.vfs.read_all(proc, fd)
+        assert data.startswith(b"SENSITIVE-PEM")
+        assert not kern.pagecache.contains_file(fs.lookup("key.pem").file_id)
+        assert not kern.physmem.find_all(b"SENSITIVE-PEM")
+
+    def test_nocache_ignored_on_stock_kernel(self):
+        kern, fs, proc = self._setup(KernelConfig.vulnerable(memory_mb=4))
+        fd = kern.vfs.open(proc, "/key.pem", O_RDONLY | O_NOCACHE)
+        kern.vfs.read_all(proc, fd)
+        assert kern.pagecache.contains_file(fs.lookup("key.pem").file_id)
+
+    def test_plain_open_keeps_cache_on_patched_kernel(self):
+        kern, fs, proc = self._setup(KernelConfig.integrated(memory_mb=4))
+        fd = kern.vfs.open(proc, "/key.pem", O_RDONLY)
+        kern.vfs.read_all(proc, fd)
+        assert kern.pagecache.contains_file(fs.lookup("key.pem").file_id)

@@ -1,0 +1,94 @@
+"""Page cache tests."""
+
+import pytest
+
+from repro.kernel.fs import SimFileSystem
+from repro.kernel.kernel import Kernel, KernelConfig
+
+
+@pytest.fixture
+def kern():
+    return Kernel(KernelConfig.vulnerable(memory_mb=4))
+
+
+@pytest.fixture
+def file(kern):
+    fs = SimFileSystem("ext2", label="root")
+    kern.vfs.mount("/", fs)
+    return fs.create_file("blob.bin", bytes(range(256)) * 40)  # 10240 bytes
+
+
+class TestRead:
+    def test_read_matches_file(self, kern, file):
+        assert kern.pagecache.read(file, 0, 10240) == bytes(file.data)
+
+    def test_partial_reads(self, kern, file):
+        assert kern.pagecache.read(file, 100, 16) == bytes(file.data[100:116])
+        assert kern.pagecache.read(file, 4090, 20) == bytes(file.data[4090:4110])
+
+    def test_read_past_eof_truncated(self, kern, file):
+        assert kern.pagecache.read(file, 10000, 10000) == bytes(file.data[10000:])
+        assert kern.pagecache.read(file, 99999, 10) == b""
+
+    def test_negative_rejected(self, kern, file):
+        with pytest.raises(ValueError):
+            kern.pagecache.read(file, -1, 10)
+
+    def test_hit_miss_accounting(self, kern, file):
+        kern.pagecache.read(file, 0, 4096)
+        assert kern.pagecache.misses == 1
+        kern.pagecache.read(file, 0, 4096)
+        assert kern.pagecache.hits == 1
+
+    def test_resident_pages(self, kern, file):
+        kern.pagecache.read(file, 0, 10240)
+        assert kern.pagecache.resident_pages() == 3
+        assert len(kern.pagecache.frames_of(file.file_id)) == 3
+
+    def test_page_flagged_and_mapped(self, kern, file):
+        kern.pagecache.read(file, 0, 1)
+        frame = kern.pagecache.frames_of(file.file_id)[0]
+        page = kern.page(frame)
+        assert page.in_pagecache
+        assert page.mapping == (file.file_id, 0)
+
+    def test_partial_tail_page_zero_filled(self, kern):
+        fs = SimFileSystem("ext2", label="d2")
+        kern.vfs.mount("/d2", fs)
+        small = fs.create_file("small.txt", b"tiny")
+        kern.pagecache.read(small, 0, 4)
+        frame = kern.pagecache.frames_of(small.file_id)[0]
+        content = kern.physmem.read_frame(frame)
+        assert content.startswith(b"tiny")
+        assert content[4:] == b"\x00" * (4096 - 4)
+
+
+class TestEvict:
+    def test_evict_clears_and_frees(self, kern, file):
+        kern.pagecache.read(file, 0, 10240)
+        frames = kern.pagecache.frames_of(file.file_id)
+        count = kern.pagecache.evict_file(file.file_id, clear=True)
+        assert count == 3
+        for frame in frames:
+            assert not kern.buddy.is_allocated(frame)
+            assert kern.physmem.frame_is_zero(frame)
+
+    def test_invalidate_leaves_content(self, kern, file):
+        kern.pagecache.read(file, 0, 4096)
+        frame = kern.pagecache.frames_of(file.file_id)[0]
+        kern.pagecache.invalidate(file.file_id)
+        assert not kern.buddy.is_allocated(frame)
+        assert not kern.physmem.frame_is_zero(frame)  # stale content remains
+
+    def test_evict_missing_is_noop(self, kern):
+        assert kern.pagecache.evict_file(424242) == 0
+
+    def test_preload(self, kern, file):
+        frames = kern.pagecache.preload(file)
+        assert len(frames) == 3
+        assert kern.pagecache.contains_file(file.file_id)
+
+    def test_reread_after_evict(self, kern, file):
+        kern.pagecache.read(file, 0, 4096)
+        kern.pagecache.evict_file(file.file_id)
+        assert kern.pagecache.read(file, 0, 16) == bytes(file.data[:16])

@@ -1,0 +1,215 @@
+"""Process and user-heap tests."""
+
+import pytest
+
+from repro.errors import BadAddressError, ProcessError
+from repro.kernel.kernel import Kernel, KernelConfig
+
+
+@pytest.fixture
+def kern():
+    return Kernel(KernelConfig.vulnerable(memory_mb=4))
+
+
+@pytest.fixture
+def proc(kern):
+    return kern.create_process("p")
+
+
+class TestHeapBasics:
+    def test_malloc_write_read(self, proc):
+        addr = proc.heap.malloc(100)
+        proc.heap.write(addr, b"payload")
+        assert proc.heap.read(addr, 7) == b"payload"
+
+    def test_malloc_distinct_chunks(self, proc):
+        a = proc.heap.malloc(64)
+        b = proc.heap.malloc(64)
+        assert a != b
+        proc.mm.write(a, b"A" * 64)
+        proc.mm.write(b, b"B" * 64)
+        assert proc.mm.read(a, 64) == b"A" * 64
+
+    def test_malloc_zero_rejected(self, proc):
+        with pytest.raises(ValueError):
+            proc.heap.malloc(0)
+
+    def test_free_and_exact_reuse(self, proc):
+        a = proc.heap.malloc(128)
+        proc.heap.free(a)
+        b = proc.heap.malloc(128)
+        assert b == a  # LIFO exact-size reuse
+
+    def test_lifo_reuse_order(self, proc):
+        a = proc.heap.malloc(64)
+        b = proc.heap.malloc(64)
+        proc.heap.free(a)
+        proc.heap.free(b)
+        assert proc.heap.malloc(64) == b
+        assert proc.heap.malloc(64) == a
+
+    def test_different_sizes_not_reused(self, proc):
+        a = proc.heap.malloc(64)
+        proc.heap.free(a)
+        b = proc.heap.malloc(128)
+        assert b != a
+
+    def test_double_free(self, proc):
+        a = proc.heap.malloc(64)
+        proc.heap.free(a)
+        with pytest.raises(BadAddressError):
+            proc.heap.free(a)
+
+    def test_free_unknown(self, proc):
+        with pytest.raises(BadAddressError):
+            proc.heap.free(0x12345)
+
+    def test_size_of(self, proc):
+        a = proc.heap.malloc(100)
+        assert proc.heap.size_of(a) == 112  # aligned to 16
+        proc.heap.free(a)
+        with pytest.raises(BadAddressError):
+            proc.heap.size_of(a)
+
+    def test_live_chunks(self, proc):
+        a = proc.heap.malloc(16)
+        b = proc.heap.malloc(16)
+        assert proc.heap.live_chunks() == 2
+        proc.heap.free(a)
+        assert proc.heap.live_chunks() == 1
+        proc.heap.free(b)
+
+
+class TestStaleHeapData:
+    def test_free_leaves_bytes(self, proc):
+        a = proc.heap.malloc(64)
+        proc.mm.write(a, b"STALE-SECRET")
+        proc.heap.free(a)
+        assert proc.mm.read(a, 12) == b"STALE-SECRET"
+
+    def test_free_with_clear(self, proc):
+        a = proc.heap.malloc(64)
+        proc.mm.write(a, b"STALE-SECRET")
+        proc.heap.free(a, clear=True)
+        assert proc.mm.read(a, 12) == b"\x00" * 12
+
+    def test_clear_on_free_mode(self, proc):
+        proc.heap.clear_on_free = True
+        a = proc.heap.malloc(64)
+        proc.mm.write(a, b"STALE-SECRET")
+        proc.heap.free(a)
+        assert proc.mm.read(a, 12) == b"\x00" * 12
+
+    def test_reuse_overwrites_stale(self, proc):
+        a = proc.heap.malloc(64)
+        proc.mm.write(a, b"OLDSECRET".ljust(64, b"\x00"))
+        proc.heap.free(a)
+        b = proc.heap.malloc(64)
+        proc.mm.write(b, b"NEWDATA".ljust(64, b"\x01"))
+        assert b"OLDSECRET" not in proc.mm.read(a, 64)
+
+
+class TestMemalign:
+    def test_page_aligned(self, kern, proc):
+        addr = proc.heap.memalign(4096, 300)
+        assert addr % 4096 == 0
+
+    def test_exclusive_pages(self, kern, proc):
+        """Nothing else may ever land on a memalign'd page."""
+        aligned = proc.heap.memalign(4096, 300)
+        others = [proc.heap.malloc(64) for _ in range(200)]
+        aligned_page = aligned // 4096
+        for other in others:
+            assert other // 4096 != aligned_page
+
+    def test_bad_alignment(self, proc):
+        with pytest.raises(ValueError):
+            proc.heap.memalign(1000, 64)
+
+    def test_write_read(self, proc):
+        addr = proc.heap.memalign(4096, 256)
+        proc.mm.write(addr, b"K" * 256)
+        assert proc.mm.read(addr, 256) == b"K" * 256
+
+
+class TestForkHeapClone:
+    def test_child_heap_metadata_independent(self, kern, proc):
+        a = proc.heap.malloc(64)
+        proc.mm.write(a, b"parentdata")
+        child = kern.fork(proc)
+        assert child.mm.read(a, 10) == b"parentdata"
+        # Child allocations don't collide with parent's live chunks.
+        b_child = child.heap.malloc(64)
+        b_parent = proc.heap.malloc(64)
+        assert b_child == b_parent  # same virtual addr, different frames after write
+        child.mm.write(b_child, b"C" * 64)
+        proc.mm.write(b_parent, b"P" * 64)
+        assert child.mm.read(b_child, 1) == b"C"
+        assert proc.mm.read(b_parent, 1) == b"P"
+
+    def test_child_free_does_not_affect_parent(self, kern, proc):
+        a = proc.heap.malloc(64)
+        child = kern.fork(proc)
+        child.heap.free(a)
+        assert proc.heap.size_of(a) == 64
+
+
+class TestFds:
+    def test_fd_lifecycle(self, kern, proc):
+        from repro.kernel.fs import SimFileSystem
+
+        fs = SimFileSystem("ext2", label="root")
+        fs.create_file("data.txt", b"hello file")
+        kern.vfs.mount("/", fs)
+        fd = kern.vfs.open(proc, "/data.txt")
+        assert kern.vfs.read(proc, fd, 5) == b"hello"
+        kern.vfs.close(proc, fd)
+        with pytest.raises(ProcessError):
+            proc.lookup_fd(fd)
+
+    def test_bad_fd(self, proc):
+        with pytest.raises(ProcessError):
+            proc.lookup_fd(99)
+
+
+class TestLifecycle:
+    def test_exit_then_use_raises(self, kern, proc):
+        kern.exit_process(proc)
+        with pytest.raises(ProcessError):
+            kern.exit_process(proc)
+        with pytest.raises(ProcessError):
+            kern.fork(proc)
+
+    def test_pids_monotonic(self, kern):
+        a = kern.create_process("a")
+        b = kern.create_process("b")
+        assert b.pid > a.pid
+
+    def test_children_tracking(self, kern, proc):
+        child = kern.fork(proc)
+        assert child in proc.children
+        kern.exit_process(child)
+        assert child not in proc.children
+
+    def test_find_process(self, kern, proc):
+        assert kern.find_process(proc.pid) is proc
+        with pytest.raises(ProcessError):
+            kern.find_process(9999)
+
+    def test_exec_replaces_address_space(self, kern, proc):
+        a = proc.heap.malloc(64)
+        proc.mm.write(a, b"before-exec")
+        kern.exec_replace(proc, "newname")
+        assert proc.name == "newname"
+        with pytest.raises(BadAddressError):
+            proc.mm.read(a, 4)  # old heap gone
+
+    def test_exec_leaves_stale_frames(self, kern, proc):
+        """exec() frees the old image uncleared; the new image reuses
+        *some* frames (zeroed at fault) but cannot cover a footprint
+        larger than itself, so stale bytes remain findable."""
+        pages = kern.config.process_image_pages + 16
+        a = proc.heap.malloc(pages * 4096)
+        proc.mm.write(a, b"EXECSTALE!" * 400 * pages)
+        kern.exec_replace(proc)
+        assert kern.physmem.find_all(b"EXECSTALE!")

@@ -1,0 +1,118 @@
+"""ProcFs unit tests."""
+
+import pytest
+
+from repro.errors import FileNotFoundError_
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.kernel.procfs import ProcFs
+
+
+@pytest.fixture
+def kern():
+    return Kernel(KernelConfig.vulnerable(memory_mb=4))
+
+
+@pytest.fixture
+def proc_fs(kern):
+    # The kernel mounts /proc at boot; use the live instance.
+    return kern.procfs
+
+
+class TestProcFs:
+    def test_register_and_read(self, kern, proc_fs):
+        proc_fs.register("uptime", lambda: b"42.0 13.7\n")
+        user = kern.create_process("cat")
+        fd = kern.vfs.open(user, "/proc/uptime")
+        assert kern.vfs.read_all(user, fd) == b"42.0 13.7\n"
+
+    def test_content_regenerated_per_open(self, kern, proc_fs):
+        counter = {"n": 0}
+
+        def generate():
+            counter["n"] += 1
+            return f"read #{counter['n']}\n".encode()
+
+        proc_fs.register("counter", generate)
+        user = kern.create_process("cat")
+        fd1 = kern.vfs.open(user, "/proc/counter")
+        first = kern.vfs.read_all(user, fd1)
+        fd2 = kern.vfs.open(user, "/proc/counter")
+        second = kern.vfs.read_all(user, fd2)
+        assert first != second
+
+    def test_bad_names_rejected(self, proc_fs):
+        with pytest.raises(ValueError):
+            proc_fs.register("", lambda: b"")
+        with pytest.raises(ValueError):
+            proc_fs.register("a/b", lambda: b"")
+
+    def test_missing_entry(self, kern, proc_fs):
+        user = kern.create_process("cat")
+        with pytest.raises(FileNotFoundError_):
+            kern.vfs.open(user, "/proc/nothing")
+        assert not proc_fs.exists("nothing")
+
+    def test_unregister(self, kern, proc_fs):
+        proc_fs.register("tmp", lambda: b"x")
+        assert proc_fs.exists("tmp")
+        proc_fs.unregister("tmp")
+        assert not proc_fs.exists("tmp")
+        with pytest.raises(FileNotFoundError_):
+            proc_fs.unregister("tmp")
+
+    def test_list_dir(self, proc_fs):
+        proc_fs.register("b", lambda: b"")
+        proc_fs.register("a", lambda: b"")
+        listing = proc_fs.list_dir()
+        assert listing == sorted(listing)
+        assert "a" in listing and "b" in listing
+        with pytest.raises(FileNotFoundError_):
+            proc_fs.list_dir("sub")
+
+    def test_standard_entries_present(self, kern):
+        assert kern.procfs.exists("meminfo")
+        assert kern.procfs.exists("uptime")
+
+    def test_meminfo_content(self, kern):
+        user = kern.create_process("cat")
+        fd = kern.vfs.open(user, "/proc/meminfo")
+        text = kern.vfs.read_all(user, fd).decode("ascii")
+        assert "MemTotal:" in text and "SwapFree:" in text
+        total_kb = int(text.split("MemTotal:")[1].split("kB")[0])
+        assert total_kb == kern.config.memory_mb * 1024
+
+    def test_uptime_tracks_clock(self, kern):
+        user = kern.create_process("cat")
+        fd = kern.vfs.open(user, "/proc/uptime")
+        first = float(kern.vfs.read_all(user, fd))
+        kern.clock.advance(5_000_000)
+        fd2 = kern.vfs.open(user, "/proc/uptime")
+        second = float(kern.vfs.read_all(user, fd2))
+        assert second >= first + 5.0
+
+    def test_pid_maps(self, kern):
+        worker = kern.create_process("worker")
+        worker.heap.malloc(64)
+        kern.register_proc_maps(worker)
+        user = kern.create_process("cat")
+        fd = kern.vfs.open(user, f"/proc/{worker.pid}_maps")
+        text = kern.vfs.read_all(user, fd).decode("ascii")
+        assert "[stack]" in text and "[heap]" in text
+        assert "rw-p" in text
+
+    def test_pid_maps_after_exit(self, kern):
+        worker = kern.create_process("worker")
+        kern.register_proc_maps(worker)
+        kern.exit_process(worker)
+        user = kern.create_process("cat")
+        fd = kern.vfs.open(user, f"/proc/{worker.pid}_maps")
+        assert kern.vfs.read_all(user, fd) == b""
+
+    def test_reads_do_not_allocate_frames(self, kern, proc_fs):
+        proc_fs.register("big", lambda: b"Z" * 20000)
+        user = kern.create_process("cat")
+        before = kern.buddy.free_frames()
+        fd = kern.vfs.open(user, "/proc/big")
+        data = kern.vfs.read_all(user, fd)
+        assert len(data) == 20000
+        assert kern.buddy.free_frames() == before

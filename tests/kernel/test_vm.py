@@ -1,0 +1,315 @@
+"""Virtual-memory tests: faults, COW, mlock, swap, teardown."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BadAddressError, ProtectionFaultError
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.kernel.vm import MMAP_BASE, VmaFlag
+from repro.mem.page import PageFlag
+
+
+@pytest.fixture
+def kern():
+    return Kernel(KernelConfig.vulnerable(memory_mb=4))
+
+
+@pytest.fixture
+def proc(kern):
+    return kern.create_process("p")
+
+
+class TestMapping:
+    def test_mmap_and_rw(self, kern, proc):
+        vma = proc.mm.mmap_anon(8192, name="buf")
+        proc.mm.write(vma.start + 100, b"hello")
+        assert proc.mm.read(vma.start + 100, 5) == b"hello"
+
+    def test_anon_pages_zeroed(self, kern, proc):
+        vma = proc.mm.mmap_anon(4096)
+        assert proc.mm.read(vma.start, 4096) == b"\x00" * 4096
+
+    def test_write_crossing_pages(self, kern, proc):
+        vma = proc.mm.mmap_anon(8192)
+        data = bytes(range(256)) * 32  # 8 KB
+        proc.mm.write(vma.start, data)
+        assert proc.mm.read(vma.start, len(data)) == data
+
+    def test_unmapped_access(self, kern, proc):
+        with pytest.raises(BadAddressError):
+            proc.mm.read(0xDEAD0000, 4)
+        with pytest.raises(BadAddressError):
+            proc.mm.write(0xDEAD0000, b"x")
+
+    def test_readonly_mapping_rejects_write(self, kern, proc):
+        vma = proc.mm.mmap_anon(4096, VmaFlag.READ, name="ro")
+        with pytest.raises(ProtectionFaultError):
+            proc.mm.write(vma.start, b"x")
+
+    def test_overlap_rejected(self, kern, proc):
+        proc.mm.mmap_anon(4096, addr=MMAP_BASE + 0x100000)
+        with pytest.raises(BadAddressError):
+            proc.mm.mmap_anon(8192, addr=MMAP_BASE + 0x100000)
+
+    def test_bad_vma_range(self, kern, proc):
+        with pytest.raises(BadAddressError):
+            proc.mm.mmap_anon(0)
+
+    def test_expand_vma(self, kern, proc):
+        vma = proc.mm.mmap_anon(4096, addr=0x50000000)
+        proc.mm.expand_vma(vma, 0x50000000 + 12288)
+        proc.mm.write(0x50000000 + 8192, b"grown")
+        assert proc.mm.read(0x50000000 + 8192, 5) == b"grown"
+
+    def test_expand_cannot_shrink(self, kern, proc):
+        vma = proc.mm.mmap_anon(8192, addr=0x50000000)
+        with pytest.raises(BadAddressError):
+            proc.mm.expand_vma(vma, 0x50000000 + 4096)
+
+    def test_translate(self, kern, proc):
+        vma = proc.mm.mmap_anon(4096)
+        assert proc.mm.translate(vma.start) is None  # not yet faulted
+        proc.mm.write(vma.start, b"x")
+        phys = proc.mm.translate(vma.start + 17)
+        assert phys is not None
+        assert kern.physmem.read(phys - 17, 1) == b"x"
+
+
+class TestCow:
+    def test_fork_shares_frames(self, kern, proc):
+        vma = proc.mm.mmap_anon(4096)
+        proc.mm.write(vma.start, b"shared-data")
+        child = kern.fork(proc)
+        parent_phys = proc.mm.translate(vma.start)
+        child_phys = child.mm.translate(vma.start)
+        assert parent_phys == child_phys
+        assert kern.page(parent_phys // 4096).count == 2
+
+    def test_child_reads_parent_data(self, kern, proc):
+        vma = proc.mm.mmap_anon(4096)
+        proc.mm.write(vma.start, b"inherited")
+        child = kern.fork(proc)
+        assert child.mm.read(vma.start, 9) == b"inherited"
+
+    def test_child_write_breaks_cow(self, kern, proc):
+        vma = proc.mm.mmap_anon(4096)
+        proc.mm.write(vma.start, b"original")
+        child = kern.fork(proc)
+        child.mm.write(vma.start, b"modified")
+        assert proc.mm.read(vma.start, 8) == b"original"
+        assert child.mm.read(vma.start, 8) == b"modified"
+        assert proc.mm.translate(vma.start) != child.mm.translate(vma.start)
+
+    def test_parent_write_breaks_cow_too(self, kern, proc):
+        vma = proc.mm.mmap_anon(4096)
+        proc.mm.write(vma.start, b"original")
+        child = kern.fork(proc)
+        proc.mm.write(vma.start, b"parent!!")
+        assert child.mm.read(vma.start, 8) == b"original"
+        assert proc.mm.read(vma.start, 8) == b"parent!!"
+
+    def test_cow_break_copies_whole_page(self, kern, proc):
+        vma = proc.mm.mmap_anon(4096)
+        proc.mm.write(vma.start, b"AAAA" * 64)
+        child = kern.fork(proc)
+        child.mm.write(vma.start, b"B")  # 1-byte write
+        # Rest of the page must have been copied.
+        assert child.mm.read(vma.start + 1, 255) == (b"AAAA" * 64)[1:256]
+
+    def test_sole_owner_rewrite_reuses_frame(self, kern, proc):
+        vma = proc.mm.mmap_anon(4096)
+        proc.mm.write(vma.start, b"data")
+        child = kern.fork(proc)
+        frame_before = proc.mm.translate(vma.start)
+        kern.exit_process(child)
+        proc.mm.write(vma.start, b"more")
+        assert proc.mm.translate(vma.start) == frame_before
+
+    def test_grandchildren_share(self, kern, proc):
+        vma = proc.mm.mmap_anon(4096)
+        proc.mm.write(vma.start, b"deep")
+        child = kern.fork(proc)
+        grandchild = kern.fork(child)
+        frame = proc.mm.translate(vma.start) // 4096
+        assert kern.page(frame).count == 3
+        assert grandchild.mm.read(vma.start, 4) == b"deep"
+
+    def test_untouched_fork_keeps_sharing_forever(self, kern, proc):
+        """The COW property RSA_memory_align depends on."""
+        vma = proc.mm.mmap_anon(4096, name="keypage")
+        proc.mm.write(vma.start, b"KEY" * 100)
+        kids = [kern.fork(proc) for _ in range(8)]
+        for kid in kids:
+            assert kid.mm.read(vma.start, 3) == b"KEY"
+        frame = proc.mm.translate(vma.start) // 4096
+        assert kern.page(frame).count == 9
+
+
+class TestTeardown:
+    def test_exit_frees_frames(self, kern):
+        before = kern.buddy.free_frames()
+        proc = kern.create_process("victim")
+        vma = proc.mm.mmap_anon(16384)
+        proc.mm.write(vma.start, b"x" * 16384)
+        assert kern.buddy.free_frames() < before
+        kern.exit_process(proc)
+        assert kern.buddy.free_frames() == before
+
+    def test_exit_leaves_content_unpatched(self, kern, proc):
+        vma = proc.mm.mmap_anon(4096)
+        proc.mm.write(vma.start, b"LEAKME")
+        phys = proc.mm.translate(vma.start)
+        kern.exit_process(proc)
+        assert kern.physmem.read(phys, 6) == b"LEAKME"
+
+    def test_exit_clears_content_with_unmap_patch(self):
+        kern = Kernel(KernelConfig.kernel_patched(memory_mb=4))
+        proc = kern.create_process("p")
+        vma = proc.mm.mmap_anon(4096)
+        proc.mm.write(vma.start, b"LEAKME")
+        phys = proc.mm.translate(vma.start)
+        kern.exit_process(proc)
+        assert kern.physmem.read(phys, 6) == b"\x00" * 6
+
+    def test_shared_frame_not_cleared_by_unmap_patch(self):
+        """memory.c patch clears only when page_count == 1."""
+        kern = Kernel(KernelConfig.kernel_patched(memory_mb=4))
+        proc = kern.create_process("p")
+        vma = proc.mm.mmap_anon(4096)
+        proc.mm.write(vma.start, b"SHARED")
+        child = kern.fork(proc)
+        kern.exit_process(child)
+        assert proc.mm.read(vma.start, 6) == b"SHARED"
+
+    def test_munmap_single_vma(self, kern, proc):
+        vma = proc.mm.mmap_anon(4096)
+        proc.mm.write(vma.start, b"gone")
+        proc.mm.munmap(vma)
+        with pytest.raises(BadAddressError):
+            proc.mm.read(vma.start, 4)
+
+    def test_munmap_foreign_vma_rejected(self, kern, proc):
+        other = kern.create_process("other")
+        vma = other.mm.mmap_anon(4096)
+        with pytest.raises(BadAddressError):
+            proc.mm.munmap(vma)
+
+
+class TestMlockAndSwap:
+    def test_mlock_sets_page_flag(self, kern, proc):
+        vma = proc.mm.mmap_anon(8192)
+        proc.mm.write(vma.start, b"pinned")
+        proc.mm.mlock(vma.start, 4096)
+        frame = proc.mm.translate(vma.start) // 4096
+        assert kern.page(frame).locked
+
+    def test_mlock_page_granular(self, kern, proc):
+        vma = proc.mm.mmap_anon(8192)
+        proc.mm.write(vma.start, b"a")
+        proc.mm.write(vma.start + 4096, b"b")
+        proc.mm.mlock(vma.start, 4096)
+        locked = kern.page(proc.mm.translate(vma.start) // 4096).locked
+        unlocked = kern.page(proc.mm.translate(vma.start + 4096) // 4096).locked
+        assert locked and not unlocked
+
+    def test_mlock_future_faults_inherit(self, kern, proc):
+        vma = proc.mm.mmap_anon(4096)
+        proc.mm.mlock(vma.start, 4096)
+        proc.mm.write(vma.start, b"later")
+        frame = proc.mm.translate(vma.start) // 4096
+        assert kern.page(frame).locked
+
+    def test_munlock(self, kern, proc):
+        vma = proc.mm.mmap_anon(4096)
+        proc.mm.write(vma.start, b"x")
+        proc.mm.mlock(vma.start, 4096)
+        proc.mm.munlock(vma.start, 4096)
+        frame = proc.mm.translate(vma.start) // 4096
+        assert not kern.page(frame).locked
+
+    def test_mlock_bad_length(self, kern, proc):
+        with pytest.raises(BadAddressError):
+            proc.mm.mlock(0x1000, 0)
+
+    def test_swap_out_and_back(self, kern, proc):
+        vma = proc.mm.mmap_anon(4096)
+        proc.mm.write(vma.start, b"swapme")
+        vpn = vma.start // 4096
+        proc.mm.swap_out(vpn)
+        assert proc.mm.page_table[vpn].swapped
+        assert proc.mm.read(vma.start, 6) == b"swapme"  # faults back in
+
+    def test_swap_out_leaves_stale_frame(self, kern, proc):
+        vma = proc.mm.mmap_anon(4096)
+        proc.mm.write(vma.start, b"staleswap")
+        phys = proc.mm.translate(vma.start)
+        proc.mm.swap_out(vma.start // 4096)
+        assert kern.physmem.read(phys, 9) == b"staleswap"
+
+    def test_swap_leaves_copy_on_device(self, kern, proc):
+        vma = proc.mm.mmap_anon(4096)
+        proc.mm.write(vma.start, b"ONDEVICE")
+        proc.mm.swap_out(vma.start // 4096)
+        proc.mm.read(vma.start, 1)  # swap back in (slot released, not scrubbed)
+        assert kern.swap.find_pattern(b"ONDEVICE")
+
+    def test_locked_pages_not_swap_candidates(self, kern, proc):
+        vma = proc.mm.mmap_anon(4096)
+        proc.mm.write(vma.start, b"pinned")
+        proc.mm.mlock(vma.start, 4096)
+        vpns = [vpn for vpn, _ in proc.mm.swap_out_candidates()]
+        assert vma.start // 4096 not in vpns
+
+    def test_shared_pages_not_swap_candidates(self, kern, proc):
+        vma = proc.mm.mmap_anon(4096)
+        proc.mm.write(vma.start, b"shared")
+        kern.fork(proc)
+        vpns = [vpn for vpn, _ in proc.mm.swap_out_candidates()]
+        assert vma.start // 4096 not in vpns
+
+    def test_swap_out_non_present_rejected(self, kern, proc):
+        vma = proc.mm.mmap_anon(4096)
+        with pytest.raises(BadAddressError):
+            proc.mm.swap_out(vma.start // 4096)
+
+    def test_fork_swaps_in_first(self, kern, proc):
+        vma = proc.mm.mmap_anon(4096)
+        proc.mm.write(vma.start, b"wasswapped")
+        proc.mm.swap_out(vma.start // 4096)
+        child = kern.fork(proc)
+        assert child.mm.read(vma.start, 10) == b"wasswapped"
+
+    def test_resident_pages(self, kern, proc):
+        base = proc.mm.resident_pages()
+        vma = proc.mm.mmap_anon(8192)
+        proc.mm.write(vma.start, b"x")
+        assert proc.mm.resident_pages() == base + 1
+
+
+class TestPropertyCow:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        writes=st.lists(
+            st.tuples(st.integers(0, 2), st.integers(0, 7), st.binary(min_size=1, max_size=64)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_fork_isolation(self, writes):
+        """After fork, each process's view evolves independently and
+        reads always return the last write by that process."""
+        kern = Kernel(KernelConfig.vulnerable(memory_mb=4))
+        parent = kern.create_process("p")
+        vma = parent.mm.mmap_anon(8 * 4096)
+        parent.mm.write(vma.start, b"\x11" * (8 * 4096))
+        children = [kern.fork(parent), kern.fork(parent)]
+        procs = [parent] + children
+        shadow = [bytearray(b"\x11" * (8 * 4096)) for _ in procs]
+        for who, page, data in writes:
+            addr = vma.start + page * 4096
+            procs[who].mm.write(addr, data)
+            shadow[who][page * 4096 : page * 4096 + len(data)] = data
+        for proc_i, proc in enumerate(procs):
+            got = proc.mm.read(vma.start, 8 * 4096)
+            assert got == bytes(shadow[proc_i])

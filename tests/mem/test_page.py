@@ -1,0 +1,82 @@
+"""Unit tests for the struct-page analog."""
+
+import pytest
+
+from repro.errors import AllocatorStateError
+from repro.mem.page import Page, PageFlag
+
+
+class TestRefcounting:
+    def test_starts_free(self):
+        page = Page(0)
+        assert page.count == 0
+        assert not page.allocated
+
+    def test_get_put(self):
+        page = Page(1)
+        page.get()
+        assert page.count == 1
+        assert page.allocated
+        assert page.put() == 0
+        assert not page.allocated
+
+    def test_put_on_free_raises(self):
+        page = Page(2)
+        with pytest.raises(AllocatorStateError):
+            page.put()
+
+    def test_multiple_references(self):
+        page = Page(3)
+        page.get()
+        page.get()
+        page.get()
+        assert page.count == 3
+        page.put()
+        assert page.count == 2
+
+
+class TestFlags:
+    def test_reserved_counts_as_allocated(self):
+        page = Page(0)
+        page.set_flag(PageFlag.RESERVED)
+        assert page.allocated
+        assert page.reserved
+
+    def test_locked(self):
+        page = Page(0)
+        assert not page.locked
+        page.set_flag(PageFlag.LOCKED)
+        assert page.locked
+        page.clear_flag(PageFlag.LOCKED)
+        assert not page.locked
+
+    def test_pagecache(self):
+        page = Page(0)
+        page.set_flag(PageFlag.PAGECACHE)
+        assert page.in_pagecache
+
+    def test_anonymous(self):
+        page = Page(0)
+        page.set_flag(PageFlag.ANON)
+        assert page.anonymous
+
+    def test_flags_combine(self):
+        page = Page(0)
+        page.set_flag(PageFlag.ANON)
+        page.set_flag(PageFlag.LOCKED)
+        assert page.anonymous and page.locked
+        page.clear_flag(PageFlag.ANON)
+        assert page.locked and not page.anonymous
+
+
+class TestResetState:
+    def test_reset_clears_metadata_only(self):
+        page = Page(5)
+        page.set_flag(PageFlag.ANON | PageFlag.LOCKED)
+        page.mapping = (3, 7)
+        page.order = 2
+        page.reset_state()
+        assert page.flags == PageFlag.NONE
+        assert page.mapping is None
+        assert page.anon_vma is None
+        assert page.order == 0

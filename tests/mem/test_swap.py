@@ -1,0 +1,101 @@
+"""Swap device tests, including the disclosure surface."""
+
+import pytest
+
+from repro.errors import SwapError
+from repro.mem.physmem import PAGE_SIZE
+from repro.mem.swap import SwapDevice
+
+
+def page_of(byte):
+    return bytes([byte]) * PAGE_SIZE
+
+
+class TestSwapInOut:
+    def test_roundtrip(self):
+        swap = SwapDevice(num_slots=4)
+        slot = swap.swap_out(page_of(0x41))
+        assert swap.swap_in(slot) == page_of(0x41)
+
+    def test_wrong_size_rejected(self):
+        swap = SwapDevice(num_slots=4)
+        with pytest.raises(SwapError):
+            swap.swap_out(b"short")
+
+    def test_full_device(self):
+        swap = SwapDevice(num_slots=2)
+        swap.swap_out(page_of(1))
+        swap.swap_out(page_of(2))
+        with pytest.raises(SwapError):
+            swap.swap_out(page_of(3))
+
+    def test_slot_freed_after_swap_in(self):
+        swap = SwapDevice(num_slots=1)
+        slot = swap.swap_out(page_of(1))
+        swap.swap_in(slot)
+        swap.swap_out(page_of(2))  # slot is reusable
+
+    def test_swap_in_empty_slot(self):
+        swap = SwapDevice(num_slots=2)
+        with pytest.raises(SwapError):
+            swap.swap_in(0)
+
+    def test_swap_in_keep_slot(self):
+        swap = SwapDevice(num_slots=1)
+        slot = swap.swap_out(page_of(7))
+        swap.swap_in(slot, free_slot=False)
+        with pytest.raises(SwapError):
+            swap.swap_out(page_of(8))
+
+    def test_invalid_slot(self):
+        swap = SwapDevice(num_slots=2)
+        with pytest.raises(SwapError):
+            swap.swap_in(99)
+
+    def test_counters(self):
+        swap = SwapDevice(num_slots=4)
+        slot = swap.swap_out(page_of(1))
+        swap.swap_in(slot)
+        assert swap.swap_outs == 1
+        assert swap.swap_ins == 1
+
+    def test_used_and_free_slots(self):
+        swap = SwapDevice(num_slots=4)
+        swap.swap_out(page_of(1))
+        swap.swap_out(page_of(2))
+        assert swap.used_slots() == [0, 1]
+        assert swap.free_slots() == 2
+
+
+class TestDisclosureSurface:
+    """Swapped secrets persist on the device — the Provos problem."""
+
+    def test_released_slot_still_holds_secret(self):
+        swap = SwapDevice(num_slots=2)
+        secret_page = b"TOPSECRET".ljust(PAGE_SIZE, b"\x00")
+        slot = swap.swap_out(secret_page)
+        swap.swap_in(slot)  # releases the slot
+        assert swap.find_pattern(b"TOPSECRET") == [slot * PAGE_SIZE]
+
+    def test_raw_dump_exposes_everything(self):
+        swap = SwapDevice(num_slots=2)
+        swap.swap_out(b"AAA".ljust(PAGE_SIZE, b"\x00"))
+        swap.swap_out(b"BBB".ljust(PAGE_SIZE, b"\x00"))
+        dump = swap.raw_dump()
+        assert b"AAA" in dump and b"BBB" in dump
+
+    def test_scrub_slot_removes_secret(self):
+        swap = SwapDevice(num_slots=1)
+        slot = swap.swap_out(b"TOPSECRET".ljust(PAGE_SIZE, b"\x00"))
+        swap.scrub_slot(slot)
+        assert swap.find_pattern(b"TOPSECRET") == []
+        swap.swap_out(page_of(1))  # scrubbed slot is free again
+
+    def test_find_pattern_empty_rejected(self):
+        swap = SwapDevice(num_slots=1)
+        with pytest.raises(ValueError):
+            swap.find_pattern(b"")
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            SwapDevice(num_slots=0)

@@ -1,0 +1,175 @@
+"""BIGNUM and RSA-struct layer tests (buffers in simulated memory)."""
+
+import pytest
+
+from repro.crypto.asn1 import encode_rsa_private_key
+from repro.crypto.pem import pem_encode
+from repro.crypto.rsa import int_to_bytes
+from repro.errors import BignumError, RsaStructError
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.ssl.bn import Bignum, BnFlag, bn_bin2bn, bn_clear_free, bn_free
+from repro.ssl.rsa_st import PART_NAMES, MontgomeryContext, RsaFlag, RsaStruct
+
+
+@pytest.fixture
+def kern():
+    return Kernel(KernelConfig.vulnerable(memory_mb=4))
+
+
+@pytest.fixture
+def proc(kern):
+    return kern.create_process("ssl")
+
+
+def make_struct(proc, key):
+    parts = {
+        name: bn_bin2bn(proc, int_to_bytes(getattr(key, name)))
+        for name in PART_NAMES
+    }
+    return RsaStruct(proc, n=key.n, e=key.e, parts=parts)
+
+
+class TestBignum:
+    def test_bin2bn_roundtrip(self, proc):
+        bn = bn_bin2bn(proc, b"\x01\x02\x03\x04")
+        assert bn.to_bytes() == b"\x01\x02\x03\x04"
+        assert bn.value() == 0x01020304
+
+    def test_data_lives_in_sim_memory(self, kern, proc):
+        bn = bn_bin2bn(proc, b"BNPAYLOAD")
+        assert kern.physmem.find_all(b"BNPAYLOAD")
+
+    def test_empty_rejected(self, proc):
+        with pytest.raises(BignumError):
+            bn_bin2bn(proc, b"")
+
+    def test_bn_free_leaves_bytes(self, proc):
+        bn = bn_bin2bn(proc, b"FREED-BN")
+        addr = bn.addr
+        bn_free(bn)
+        assert proc.mm.read(addr, 8) == b"FREED-BN"
+
+    def test_bn_clear_free_zeroes(self, proc):
+        bn = bn_bin2bn(proc, b"CLEARED!")
+        addr = bn.addr
+        bn_clear_free(bn)
+        assert proc.mm.read(addr, 8) == b"\x00" * 8
+
+    def test_double_free(self, proc):
+        bn = bn_bin2bn(proc, b"x")
+        bn_free(bn)
+        with pytest.raises(BignumError):
+            bn_free(bn)
+        with pytest.raises(BignumError):
+            bn_clear_free(bn)
+
+    def test_use_after_free(self, proc):
+        bn = bn_bin2bn(proc, b"x")
+        bn_free(bn)
+        with pytest.raises(BignumError):
+            bn.to_bytes()
+
+    def test_static_data_not_freed(self, proc):
+        addr = proc.heap.memalign(4096, 64)
+        proc.mm.write(addr, b"S" * 64)
+        bn = Bignum(proc, addr, 64, BnFlag.STATIC_DATA)
+        bn_clear_free(bn)
+        # Static data untouched; the aligned chunk is still live.
+        assert proc.mm.read(addr, 4) == b"SSSS"
+        assert proc.heap.size_of(addr) >= 64
+
+    def test_repoint(self, proc):
+        bn = bn_bin2bn(proc, b"AAAA")
+        new_addr = proc.heap.malloc(16)
+        proc.mm.write(new_addr, b"BBBB")
+        bn.repoint(new_addr, BnFlag.STATIC_DATA)
+        assert bn.to_bytes()[:4] == b"BBBB"
+
+
+class TestMontgomeryContext:
+    def test_holds_modulus_copy(self, kern, proc):
+        ctx = MontgomeryContext(proc, b"MONTMODULUS")
+        assert ctx.modulus() == int.from_bytes(b"MONTMODULUS", "big")
+        assert len(kern.physmem.find_all(b"MONTMODULUS")) == 1
+
+    def test_free_leaves_bytes(self, proc):
+        ctx = MontgomeryContext(proc, b"MONTSTALE")
+        addr = ctx.addr
+        ctx.free()
+        assert proc.mm.read(addr, 9) == b"MONTSTALE"
+
+    def test_free_with_clear(self, proc):
+        ctx = MontgomeryContext(proc, b"MONTGONE!")
+        addr = ctx.addr
+        ctx.free(clear=True)
+        assert proc.mm.read(addr, 9) == b"\x00" * 9
+
+    def test_double_free(self, proc):
+        ctx = MontgomeryContext(proc, b"x")
+        ctx.free()
+        with pytest.raises(RsaStructError):
+            ctx.free()
+        with pytest.raises(RsaStructError):
+            ctx.modulus()
+
+
+class TestRsaStruct:
+    def test_to_key_roundtrip(self, proc, rsa_key_256):
+        rsa = make_struct(proc, rsa_key_256)
+        assert rsa.to_key() == rsa_key_256
+
+    def test_missing_parts_rejected(self, proc, rsa_key_256):
+        parts = {"d": bn_bin2bn(proc, b"\x01")}
+        with pytest.raises(RsaStructError):
+            RsaStruct(proc, n=rsa_key_256.n, e=rsa_key_256.e, parts=parts)
+
+    def test_cache_flags_default_on(self, proc, rsa_key_256):
+        rsa = make_struct(proc, rsa_key_256)
+        assert rsa.flags & RsaFlag.CACHE_PRIVATE
+        assert rsa.flags & RsaFlag.CACHE_PUBLIC
+
+    def test_ensure_mont_caches(self, proc, rsa_key_256):
+        rsa = make_struct(proc, rsa_key_256)
+        ctx1 = rsa.ensure_mont("p")
+        ctx2 = rsa.ensure_mont("p")
+        assert ctx1 is ctx2
+        assert ctx1.modulus() == rsa_key_256.p
+
+    def test_ensure_mont_invalid_part(self, proc, rsa_key_256):
+        rsa = make_struct(proc, rsa_key_256)
+        with pytest.raises(RsaStructError):
+            rsa.ensure_mont("d")
+
+    def test_part_bytes(self, proc, rsa_key_256):
+        rsa = make_struct(proc, rsa_key_256)
+        assert rsa.part_bytes("p") == rsa_key_256.p_bytes()
+        with pytest.raises(RsaStructError):
+            rsa.part_bytes("nope")
+
+    def test_rsa_free_clears_bignums(self, kern, proc, rsa_key_256):
+        rsa = make_struct(proc, rsa_key_256)
+        rsa.rsa_free()
+        assert not kern.physmem.find_all(rsa_key_256.p_bytes())
+        with pytest.raises(RsaStructError):
+            rsa.to_key()
+
+    def test_rsa_free_leaves_mont_stale(self, kern, proc, rsa_key_256):
+        """Stock RSA_free clears BNs but NOT the Montgomery cache."""
+        rsa = make_struct(proc, rsa_key_256)
+        rsa.ensure_mont("p")
+        rsa.rsa_free()
+        assert kern.physmem.find_all(rsa_key_256.p_bytes())
+
+    def test_double_free(self, proc, rsa_key_256):
+        rsa = make_struct(proc, rsa_key_256)
+        rsa.rsa_free()
+        with pytest.raises(RsaStructError):
+            rsa.rsa_free()
+
+    def test_view_in_child(self, kern, proc, rsa_key_256):
+        rsa = make_struct(proc, rsa_key_256)
+        child = kern.fork(proc)
+        view = rsa.view_in(child)
+        assert view.to_key() == rsa_key_256
+        assert view.mont == {}  # fresh per-process cache
+        assert view.flags == rsa.flags

@@ -1,0 +1,99 @@
+"""EVP-layer tests across all protection states."""
+
+import pytest
+
+from repro.core.hardware import offload_to_vault
+from repro.core.memory_align import rsa_memory_align
+from repro.crypto.randsrc import DeterministicRandom
+from repro.crypto.rsa import int_to_bytes
+from repro.errors import PaddingError, SignatureError
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.ssl.bn import bn_bin2bn
+from repro.ssl.evp import evp_open, evp_seal, evp_sign, evp_verify
+from repro.ssl.rsa_st import PART_NAMES, RsaStruct
+
+
+@pytest.fixture
+def kern():
+    return Kernel(KernelConfig(version=(2, 6, 10), memory_mb=4, has_key_vault=True))
+
+
+@pytest.fixture
+def rsa(kern, rsa_key_512):
+    proc = kern.create_process("signer")
+    parts = {
+        name: bn_bin2bn(proc, int_to_bytes(getattr(rsa_key_512, name)))
+        for name in PART_NAMES
+    }
+    return RsaStruct(proc, n=rsa_key_512.n, e=rsa_key_512.e, parts=parts)
+
+
+class TestSignVerify:
+    def test_roundtrip(self, rsa):
+        sig = evp_sign(rsa, b"document")
+        evp_verify(rsa, b"document", sig)
+
+    def test_matches_pure_crypto_signature(self, rsa, rsa_key_512):
+        assert evp_sign(rsa, b"document") == rsa_key_512.sign(b"document")
+
+    def test_tampered_message(self, rsa):
+        sig = evp_sign(rsa, b"document")
+        with pytest.raises(SignatureError):
+            evp_verify(rsa, b"documenu", sig)
+
+    def test_tampered_signature(self, rsa):
+        sig = bytearray(evp_sign(rsa, b"document"))
+        sig[-1] ^= 1
+        with pytest.raises(SignatureError):
+            evp_verify(rsa, b"document", bytes(sig))
+
+    def test_wrong_length(self, rsa):
+        with pytest.raises(SignatureError):
+            evp_verify(rsa, b"document", b"short")
+
+    def test_works_when_aligned(self, rsa):
+        rsa_memory_align(rsa)
+        sig = evp_sign(rsa, b"aligned")
+        evp_verify(rsa, b"aligned", sig)
+
+    def test_works_from_vault(self, rsa):
+        offload_to_vault(rsa)
+        sig = evp_sign(rsa, b"vaulted")
+        evp_verify(rsa, b"vaulted", sig)
+
+    def test_vault_signature_identical(self, kern, rsa_key_512):
+        """Same key, same signature, regardless of where it lives."""
+        proc = kern.create_process("p2")
+        parts = {
+            name: bn_bin2bn(proc, int_to_bytes(getattr(rsa_key_512, name)))
+            for name in PART_NAMES
+        }
+        plain = RsaStruct(proc, n=rsa_key_512.n, e=rsa_key_512.e, parts=parts)
+        sig_plain = evp_sign(plain, b"same")
+        offload_to_vault(plain)
+        assert evp_sign(plain, b"same") == sig_plain
+
+
+class TestSealOpen:
+    def test_roundtrip(self, rsa, rng):
+        ct = evp_seal(rsa, b"session secret", rng)
+        assert evp_open(rsa, ct) == b"session secret"
+
+    def test_too_long(self, rsa, rng):
+        with pytest.raises(PaddingError):
+            evp_seal(rsa, b"x" * 60, rng)
+
+    def test_corrupt_ciphertext(self, rsa, rng):
+        ct = bytearray(evp_seal(rsa, b"secret", rng))
+        ct[0] ^= 0x55
+        with pytest.raises(PaddingError):
+            evp_open(rsa, bytes(ct))
+
+    def test_wrong_length(self, rsa):
+        with pytest.raises(PaddingError):
+            evp_open(rsa, b"short")
+
+    def test_roundtrip_from_vault(self, rsa, rng):
+        offload_to_vault(rsa)
+        ct = evp_seal(rsa, b"to the vault", rng)
+        assert evp_open(rsa, ct) == b"to the vault"

@@ -1,0 +1,85 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST = ["--key-bits", "256", "--memory-mb", "8", "--connections", "4"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_level(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scan", "--level", "quantum"])
+
+    def test_all_levels_accepted(self):
+        parser = build_parser()
+        for level in ("none", "application", "library", "kernel",
+                      "integrated", "hardware"):
+            args = parser.parse_args(["scan", "--level", level])
+            assert args.level == level
+
+
+class TestCommands:
+    def test_scan(self, capsys):
+        assert main(["scan", "--level", "none", "--limit", "3"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "key copies" in out
+        assert "by region" in out
+
+    def test_scan_protected_finds_three(self, capsys):
+        main(["scan", "--level", "integrated"] + FAST)
+        out = capsys.readouterr().out
+        assert out.startswith("3 key copies")
+
+    def test_attack_ext2_baseline_succeeds(self, capsys):
+        code = main(
+            ["attack", "--exploit", "ext2", "--dirs", "600", "--level", "none"]
+            + FAST
+        )
+        assert code == 0
+        assert "ATTACK SUCCEEDED" in capsys.readouterr().out
+
+    def test_attack_ext2_protected_fails(self, capsys):
+        code = main(
+            ["attack", "--exploit", "ext2", "--dirs", "600",
+             "--level", "integrated"] + FAST
+        )
+        assert code == 1
+        assert "attack failed" in capsys.readouterr().out
+
+    def test_attack_ntty(self, capsys):
+        code = main(["attack", "--exploit", "ntty", "--level", "none"] + FAST)
+        assert code in (0, 1)
+        assert "dumped" in capsys.readouterr().out
+
+    def test_attack_swap_mlocked_fails(self, capsys):
+        code = main(["attack", "--exploit", "swap", "--level", "library"] + FAST)
+        assert code == 1
+
+    def test_timeline(self, capsys):
+        code = main(
+            ["timeline", "--level", "integrated", "--cycles-per-slot", "1"]
+            + FAST
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Timeline: openssh" in out
+        assert "t=29" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "[openssh @ none]" in out
+        assert "[openssh @ integrated]" in out
+
+    def test_ladder(self, capsys):
+        assert main(["ladder"] + FAST) == 0
+        out = capsys.readouterr().out
+        for level in ("none", "application", "library", "kernel",
+                      "integrated", "hardware"):
+            assert level in out

@@ -1,0 +1,320 @@
+"""keylint: the static half of KeySan — an AST secret-hygiene linter.
+
+The runtime sanitizer (:mod:`repro.sanitizer`) catches leaks as they
+happen; this pass catches the *code patterns* that cause them, derived
+from §4 of the paper:
+
+``bn-free``
+    ``bn_free()`` of a secret-hinted BIGNUM (a private exponent, a CRT
+    prime, anything named like key material) leaves its digit bytes in
+    the freed heap chunk.  Secret BIGNUMs must use ``bn_clear_free()``.
+
+``raw-secret-bytes``
+    Retaining raw Python ``bytes`` of key material on an object
+    attribute keeps a copy *outside* simulated memory, invisible to the
+    scanner, the sanitizer, and every countermeasure being evaluated.
+    Key bytes belong in simulated memory only.
+
+``snapshot-scope``
+    ``PhysicalMemory.snapshot()`` / ``raw_view()`` are the omniscient
+    core-dump primitives.  Only attack code (``attacks/``) and the
+    sanitizer (``sanitizer/``) may call them; anything else peeking at
+    raw RAM is either cheating or leaking.
+
+``memalign-mlock``
+    A ``memalign``/``posix_memalign`` of a secret page that is not
+    paired with an ``mlock`` in the same function can be swapped out —
+    the exact hole ``RSA_memory_align()`` exists to close.
+
+Every rule honours a ``# keylint: ignore[rule]`` comment on the
+flagged line (``ignore[*]`` silences all rules for that line); use it
+where a violation is deliberate, e.g. in negative-path tests.
+
+The public entry points are :func:`lint_file` and :func:`lint_paths`;
+``tools/keylint.py`` and ``python -m repro lint`` are thin shells over
+them.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: Every rule keylint knows, in report order.
+RULE_NAMES = (
+    "bn-free",
+    "raw-secret-bytes",
+    "snapshot-scope",
+    "memalign-mlock",
+)
+
+#: Identifier tokens that mark a value as key material.  An argument
+#: like ``priv_bn``, ``rsa.d`` or ``key_parts`` trips the bn-free rule;
+#: ``n_bn`` or ``pub_exp`` does not.
+SECRET_TOKENS = frozenset(
+    {"d", "p", "q", "dmp1", "dmq1", "iqmp",
+     "priv", "private", "secret", "key", "prime", "exponent"}
+)
+
+#: Calls producing raw secret bytes (the values the runtime sanitizer
+#: registers as taint sources).
+SECRET_PRODUCERS = frozenset(
+    {"to_bytes", "part_bytes", "d_bytes", "p_bytes", "q_bytes",
+     "int_to_bytes", "pem_encode"}
+)
+
+#: Raw-RAM primitives restricted by snapshot-scope.
+RAW_VIEW_CALLS = frozenset({"snapshot", "raw_view"})
+
+#: Path fragments (POSIX, relative) allowed to call raw-RAM primitives.
+SNAPSHOT_ALLOWED = ("attacks/", "sanitizer/")
+
+#: Path fragments where holding raw key bytes on objects is the point:
+#: the experiment harness generates the key, attack/oracle code needs
+#: the ground-truth patterns to search for.
+RAW_BYTES_ALLOWED = ("attacks/", "sanitizer/", "analysis/", "core/simulation.py")
+
+#: Functions that *are* the allocation primitives (wrapper definitions
+#: legitimately call the lower layer without an mlock).
+MEMALIGN_DEFINERS = frozenset({"memalign", "posix_memalign"})
+
+_IGNORE_RE = re.compile(r"#\s*keylint:\s*ignore\[([\w*,\s-]+)\]")
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+def _ignored_rules(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> rules silenced by ``# keylint: ignore[...]``."""
+    ignored: Dict[int, Set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _IGNORE_RE.search(text)
+        if match:
+            rules = {part.strip() for part in match.group(1).split(",")}
+            ignored[lineno] = rules
+    return ignored
+
+
+def _identifier_tokens(node: ast.expr) -> Set[str]:
+    """Lower-cased name parts of an expression: ``rsa.dmp1`` ->
+    ``{"rsa", "dmp1"}``, ``priv_key_bn`` -> ``{"priv", "key", "bn"}``."""
+    names: List[str] = []
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            names.append(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            names.append(sub.attr)
+    tokens: Set[str] = set()
+    for name in names:
+        tokens.update(part for part in name.lower().split("_") if part)
+    return tokens
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    """The called function's terminal name (``x.y.f(...)`` -> ``f``)."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+class _FileLinter(ast.NodeVisitor):
+    """Single-file AST walk collecting violations for every rule."""
+
+    def __init__(self, rel_path: str) -> None:
+        self.rel_path = rel_path
+        self.violations: List[LintViolation] = []
+        self._snapshot_exempt = any(
+            frag in rel_path for frag in SNAPSHOT_ALLOWED
+        )
+        self._raw_bytes_exempt = any(
+            frag in rel_path for frag in RAW_BYTES_ALLOWED
+        )
+        #: Function nesting stack of (name, memalign calls, has mlock).
+        self._func_stack: List[Tuple[str, List[ast.Call], bool]] = []
+
+    # ------------------------------------------------------------------
+    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
+        self.violations.append(
+            LintViolation(
+                path=self.rel_path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule=rule,
+                message=message,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # function scope tracking (memalign-mlock is a per-function rule)
+    # ------------------------------------------------------------------
+    def _visit_function(self, node) -> None:
+        self._func_stack.append((node.name, [], False))
+        self.generic_visit(node)
+        name, memaligns, has_mlock = self._func_stack.pop()
+        if name in MEMALIGN_DEFINERS:
+            return  # the wrapper *is* the primitive
+        if memaligns and not has_mlock:
+            for call in memaligns:
+                self._flag(
+                    call,
+                    "memalign-mlock",
+                    f"{name}() allocates an aligned (secret-page) region "
+                    f"without mlock()ing it in the same function; a "
+                    f"swappable key page defeats RSA_memory_align",
+                )
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    # ------------------------------------------------------------------
+    # calls: bn-free, snapshot-scope, memalign-mlock bookkeeping
+    # ------------------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _call_name(node)
+        if name == "bn_free" and node.args:
+            tokens = _identifier_tokens(node.args[0])
+            hits = sorted(tokens & SECRET_TOKENS)
+            if hits:
+                self._flag(
+                    node,
+                    "bn-free",
+                    f"bn_free() of secret-hinted BIGNUM "
+                    f"({', '.join(hits)}): digit bytes survive in the "
+                    f"freed chunk; use bn_clear_free()",
+                )
+        elif name in RAW_VIEW_CALLS and isinstance(node.func, ast.Attribute):
+            if not self._snapshot_exempt:
+                self._flag(
+                    node,
+                    "snapshot-scope",
+                    f"{name}() reads raw physical memory; only attacks/ "
+                    f"and sanitizer/ may hold the core-dump primitives",
+                )
+        if name in MEMALIGN_DEFINERS and self._func_stack:
+            fname, memaligns, has_mlock = self._func_stack[-1]
+            memaligns.append(node)
+            self._func_stack[-1] = (fname, memaligns, has_mlock)
+        if name in ("mlock", "mlock2") and self._func_stack:
+            fname, memaligns, _ = self._func_stack[-1]
+            self._func_stack[-1] = (fname, memaligns, True)
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # assignments: raw-secret-bytes
+    # ------------------------------------------------------------------
+    def _check_retention(self, targets: Sequence[ast.expr], value: Optional[ast.expr]) -> None:
+        if value is None or self._raw_bytes_exempt:
+            return
+        attr_targets = [
+            t for t in targets
+            if isinstance(t, ast.Attribute) and isinstance(t.value, ast.Name)
+            and t.value.id == "self"
+        ]
+        if not attr_targets:
+            return
+        producers = sorted(
+            {
+                _call_name(sub)
+                for sub in ast.walk(value)
+                if isinstance(sub, ast.Call) and _call_name(sub) in SECRET_PRODUCERS
+            }
+            - {None}
+        )
+        if producers:
+            for target in attr_targets:
+                self._flag(
+                    target,
+                    "raw-secret-bytes",
+                    f"self.{target.attr} retains raw key bytes from "
+                    f"{', '.join(p + '()' for p in producers)}; key material "
+                    f"must live in simulated memory, not on Python objects",
+                )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._check_retention(node.targets, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_retention([node.target], node.value)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_retention([node.target], node.value)
+        self.generic_visit(node)
+
+
+def lint_source(source: str, rel_path: str) -> List[LintViolation]:
+    """Lint one file's source text; ``rel_path`` drives path exemptions
+    and appears in the reports."""
+    tree = ast.parse(source, filename=rel_path)
+    linter = _FileLinter(rel_path)
+    linter.visit(tree)
+    ignored = _ignored_rules(source)
+    kept = [
+        violation
+        for violation in linter.violations
+        if not (
+            violation.line in ignored
+            and ({violation.rule, "*"} & ignored[violation.line])
+        )
+    ]
+    kept.sort(key=lambda v: (v.line, v.col, v.rule))
+    return kept
+
+
+def lint_file(path: Path, root: Optional[Path] = None) -> List[LintViolation]:
+    """Lint one ``.py`` file.  ``root`` anchors the relative path used
+    for exemptions (defaults to the file's parent)."""
+    path = Path(path)
+    base = root if root is not None else path.parent
+    try:
+        rel = path.relative_to(base).as_posix()
+    except ValueError:
+        rel = path.as_posix()
+    return lint_source(path.read_text(encoding="utf-8"), rel)
+
+
+def lint_paths(paths: Iterable[Path]) -> List[LintViolation]:
+    """Lint files and/or directory trees; directories are walked for
+    ``*.py``.  Results are ordered by path then location."""
+    violations: List[LintViolation] = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            for file_path in sorted(entry.rglob("*.py")):
+                violations.extend(lint_file(file_path, root=entry))
+        elif entry.is_file():
+            violations.extend(lint_file(entry, root=entry.parent))
+        else:
+            raise FileNotFoundError(f"keylint: no such file or directory: {entry}")
+    return violations
+
+
+def render_report(violations: List[LintViolation]) -> str:
+    """Human-readable summary, one line per violation."""
+    if not violations:
+        return "keylint: no violations"
+    lines = [violation.render() for violation in violations]
+    by_rule: Dict[str, int] = {}
+    for violation in violations:
+        by_rule[violation.rule] = by_rule.get(violation.rule, 0) + 1
+    summary = ", ".join(f"{rule}={count}" for rule, count in sorted(by_rule.items()))
+    lines.append(f"keylint: {len(violations)} violations ({summary})")
+    return "\n".join(lines)

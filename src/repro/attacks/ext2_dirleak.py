@@ -75,6 +75,10 @@ class Ext2DirLeakAttack:
         self.usb_fs.drop_buffers(self.kernel)
         disclosed = bytes(self.usb_fs.block_image[image_offset:])
         counts = self.patterns.count_in(disclosed)
+        if self.kernel.keysan is not None:
+            # The stale bytes left RAM via the device image; value-match
+            # the exfiltrated blocks against the registered secrets.
+            self.kernel.keysan.note_disclosure("ext2-dirleak", data=disclosed)
         elapsed = (self.kernel.clock.now_us - start_mark) / 1e6
         return AttackResult(
             counts=counts, disclosed_bytes=len(disclosed), elapsed_s=elapsed

@@ -36,6 +36,12 @@ class NttyDumpAttack:
         start_mark = self.kernel.clock.now_us
         dump = self.kernel.ntty.dump(rng)
         counts = self.patterns.count_in(dump.data)
+        if self.kernel.keysan is not None:
+            # The dump is a window over physical RAM: the shadow map
+            # knows exactly which of its bytes were key material.
+            self.kernel.keysan.note_disclosure(
+                "ntty-dump", phys_start=dump.start, length=dump.length
+            )
         elapsed = (self.kernel.clock.now_us - start_mark) / 1e6
         return AttackResult(
             counts=counts,

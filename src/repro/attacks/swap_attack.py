@@ -47,6 +47,8 @@ class SwapDiskAttack:
         image = self.kernel.swap.raw_dump()
         self.kernel.clock.charge_transfer(len(image))  # disk read
         counts = self.patterns.count_in(image)
+        if self.kernel.keysan is not None:
+            self.kernel.keysan.note_disclosure("swap-disk", data=image)
         elapsed = (self.kernel.clock.now_us - start_mark) / 1e6
         return AttackResult(
             counts=counts, disclosed_bytes=len(image), elapsed_s=elapsed

@@ -138,6 +138,46 @@ def cmd_ladder(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_taint(args: argparse.Namespace) -> int:
+    sim = Simulation(
+        SimulationConfig(
+            server=args.server,
+            level=ProtectionLevel(args.level),
+            seed=args.seed,
+            memory_mb=args.memory_mb,
+            key_bits=args.key_bits,
+            taint=True,
+        )
+    )
+    sim.start_server()
+    sim.cycle_connections(max(20, 2 * args.connections))
+    sim.hold_connections(args.connections)
+    report = sim.taint_report()
+    print(report.render(max_diagnostics=args.limit))
+    check = report.cross_check(sim.scan())
+    print("cross-check against MemoryScanner:")
+    print(check.render())
+    return 0 if check.consistent else 1
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.lint import lint_paths, render_report
+
+    paths = [Path(p) for p in args.paths]
+    if not paths:
+        # Default target: the installed repro package sources.
+        paths = [Path(__file__).resolve().parent]
+    try:
+        violations = lint_paths(paths)
+    except FileNotFoundError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(render_report(violations))
+    return 1 if violations else 0
+
+
 def cmd_scan(args: argparse.Namespace) -> int:
     sim = _loaded_sim(args)
     report = sim.scan()
@@ -191,6 +231,23 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--limit", type=int, default=20,
                       help="max matches to list individually")
     scan.set_defaults(func=cmd_scan)
+
+    taint = sub.add_parser(
+        "taint",
+        help="KeySan: run with the taint sanitizer, print the leak report "
+             "and cross-check the scanner against the oracle",
+    )
+    _add_common(taint)
+    taint.add_argument("--limit", type=int, default=20,
+                       help="max diagnostics to list individually")
+    taint.set_defaults(func=cmd_taint)
+
+    lint = sub.add_parser(
+        "lint", help="keylint: AST secret-hygiene lint (KeySan static pass)"
+    )
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories (default: the repro package)")
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -72,6 +72,11 @@ class SimulationConfig:
     #: deallocation: ``{"zero_on_free": True, "zero_on_unmap": True,
     #: "heap_clear_on_free": True}``).
     kernel_overrides: Optional[dict] = None
+    #: Attach the KeySan taint sanitizer at boot: the generated key's
+    #: CRT parts and PEM are registered as taint sources *before* the
+    #: key file touches the filesystem, and every later copy is tracked
+    #: byte-for-byte (see :mod:`repro.sanitizer`).
+    taint: bool = False
 
     def effective_root_fstype(self) -> str:
         if self.root_fstype is not None:
@@ -113,6 +118,15 @@ class Simulation:
         )
         self.pem: bytes = pem_encode(der)
         self.patterns = KeyPatternSet.from_key(self.key, self.pem)
+
+        # Taint mode: register the secrets before the PEM file exists
+        # anywhere, so even the mount-time page-cache preload is seen.
+        self.keysan = None
+        if self.config.taint:
+            from repro.sanitizer import KeySan
+
+            self.keysan = KeySan.attach(self.kernel)
+            self.keysan.register_key(self.key, self.pem)
 
         key_path = SSH_KEY_PATH if self.config.server == "openssh" else APACHE_KEY_PATH
         self.root_fs = SimFileSystem(
@@ -186,6 +200,12 @@ class Simulation:
     def scan(self) -> ScanReport:
         """Run the scanmemory analog over all of RAM."""
         return self._scanner.scan()
+
+    def taint_report(self):
+        """Build the KeySan ground-truth report (requires ``taint=True``)."""
+        if self.keysan is None:
+            raise WorkloadError("simulation was not built with taint=True")
+        return self.keysan.report(self.patterns)
 
     def run_ext2_attack(self, num_dirs: int = 1000) -> AttackResult:
         """The [17] directory-leak attack (lazily mounts the USB stick)."""

@@ -137,6 +137,9 @@ class Kernel:
         self.buddy.oom_reclaim = lambda pages: self.reclaim_pages(
             max(pages, 32)
         )
+        #: KeySan taint sanitizer, attached via ``KeySan.attach(kernel)``
+        #: when the simulation runs in taint mode.
+        self.keysan = None
         self.swap = SwapDevice(self.config.swap_slots, self.config.page_size)
         self.pagecache = PageCache(self)
         self.vfs = Vfs(self)

@@ -438,6 +438,8 @@ class AddressSpace:
         assert pte.frame is not None
         content = self.kernel.physmem.read_frame(pte.frame)
         slot = self.kernel.swap.swap_out(content)
+        if self.kernel.keysan is not None:
+            self.kernel.keysan.note_swap_out(pte.frame, slot)
         self.kernel.buddy.put_page(pte.frame)
         pte.frame = None
         pte.swap_slot = slot

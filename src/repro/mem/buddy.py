@@ -70,6 +70,10 @@ class BuddyAllocator:
         #: return how many it reclaimed; the allocation then retries
         #: once.  Wired up by the kernel.
         self.oom_reclaim: Optional[Callable[[int], int]] = None
+        #: KeySan hook: called as ``on_free(head, order, cleared)`` after
+        #: every successful :meth:`free_pages`, so the sanitizer can
+        #: catch tainted frames entering a free list uncleared.
+        self.on_free: Optional[Callable[[int, int, bool], None]] = None
 
         self.pages: List[Page] = [Page(frame) for frame in range(physmem.num_frames)]
         self._free_lists: Dict[int, List[int]] = {o: [] for o in range(max_order + 1)}
@@ -225,6 +229,9 @@ class BuddyAllocator:
         if self.clear_on_free:
             for frame in range(head, head + size):
                 self._clear_frame(frame)
+
+        if self.on_free is not None:
+            self.on_free(head, order, self.clear_on_free)
 
         if order == 0:
             self._free_hot(head)

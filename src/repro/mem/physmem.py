@@ -40,6 +40,10 @@ class PhysicalMemory:
         self.num_frames = num_frames
         self.size = num_frames * page_size
         self._data = bytearray(self.size)
+        #: Optional KeySan hook target.  Every mutator below notifies it,
+        #: and mutation happens *only* through these five methods, which
+        #: is what makes the taint shadow exact.
+        self.sanitizer = None
 
     # ------------------------------------------------------------------
     # address helpers
@@ -78,11 +82,15 @@ class PhysicalMemory:
         """Write ``data`` at physical address ``addr``."""
         self._check_range(addr, len(data))
         self._data[addr : addr + len(data)] = data
+        if self.sanitizer is not None:
+            self.sanitizer.on_write(addr, bytes(data))
 
     def fill(self, addr: int, length: int, value: int = 0) -> None:
         """Fill ``length`` bytes at ``addr`` with a constant byte."""
         self._check_range(addr, length)
         self._data[addr : addr + length] = bytes([value]) * length
+        if self.sanitizer is not None:
+            self.sanitizer.on_fill(addr, length)
 
     # ------------------------------------------------------------------
     # frame-level access
@@ -100,17 +108,23 @@ class PhysicalMemory:
             )
         base = self.frame_base(frame)
         self._data[base : base + len(data)] = data
+        if self.sanitizer is not None:
+            self.sanitizer.on_write(base, bytes(data))
 
     def clear_frame(self, frame: int) -> None:
         """Zero one frame — the simulated ``clear_highpage()``."""
         base = self.frame_base(frame)
         self._data[base : base + self.page_size] = b"\x00" * self.page_size
+        if self.sanitizer is not None:
+            self.sanitizer.on_clear_frame(frame)
 
     def copy_frame(self, src_frame: int, dst_frame: int) -> None:
         """Copy a whole frame — the COW ``copy_user_highpage()`` path."""
         src = self.frame_base(src_frame)
         dst = self.frame_base(dst_frame)
         self._data[dst : dst + self.page_size] = self._data[src : src + self.page_size]
+        if self.sanitizer is not None:
+            self.sanitizer.on_copy_frame(src_frame, dst_frame)
 
     def frame_is_zero(self, frame: int) -> bool:
         """True if every byte of ``frame`` is zero."""

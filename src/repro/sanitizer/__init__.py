@@ -1,0 +1,51 @@
+"""KeySan: a secret-taint sanitizer for the simulated machine.
+
+The paper's central empirical claim is that key bytes *flood* memory
+through copies the programmer never sees — BN temporaries, Montgomery
+caches, the page cache, COW breaks, swap.  The repository's
+:class:`~repro.attacks.scanner.MemoryScanner` observes this after the
+fact by pattern matching, which under-counts transformed and partial
+copies and cannot say *which code path* created a leak.
+
+KeySan closes both gaps with a byte-granular shadow map attached to
+:class:`~repro.mem.physmem.PhysicalMemory`:
+
+* key material is marked at its source (``bn_bin2bn`` of the CRT
+  parts, PEM bytes entering the page cache) and taint follows every
+  ``write``/``copy_frame``/COW fault/swap-out;
+* structured :class:`TaintDiagnostic`\\ s — each carrying the
+  originating simulated call site — fire when a tainted frame is freed
+  uncleared, swapped out, left in the page cache, or read by an attack
+  primitive;
+* the resulting :class:`TaintReport` is an exact oracle against which
+  the scanner is cross-checked: any copy the scanner misses or
+  double-counts is itself a finding.
+
+Usage::
+
+    sim = Simulation(SimulationConfig(taint=True))
+    sim.start_server(); sim.cycle_connections(20)
+    report = sim.taint_report()
+    check = report.cross_check(sim.scan())
+    assert check.consistent
+"""
+
+from repro.sanitizer.keysan import KeySan, TaintTag
+from repro.sanitizer.report import (
+    CrossCheckFinding,
+    CrossCheckResult,
+    TaintDiagnostic,
+    TaintReport,
+)
+from repro.sanitizer.shadow import ShadowMap, TaintRun
+
+__all__ = [
+    "CrossCheckFinding",
+    "CrossCheckResult",
+    "KeySan",
+    "ShadowMap",
+    "TaintDiagnostic",
+    "TaintReport",
+    "TaintRun",
+    "TaintTag",
+]

@@ -1,0 +1,231 @@
+"""Structured KeySan output: diagnostics, the taint report, and the
+scanner cross-check.
+
+A :class:`TaintReport` is the exact ground truth the paper's
+``scanmemory`` methodology lacked: for every secret it knows *which
+bytes* of memory carry it, *which simulated call site* planted them,
+and *why they are dangerous* (freed uncleared, swapped out, resident
+in the page cache, disclosed by an attack).  `cross_check` compares
+that oracle against a :class:`~repro.attacks.scanner.ScanReport`; a
+disagreement in either direction is a finding, not a tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+#: Diagnostic kinds, in severity order.
+DIAGNOSTIC_KINDS = (
+    "disclosure",          # an attack primitive read tainted bytes
+    "swap-out-tainted",    # tainted page written to the swap device
+    "freed-tainted-frame", # frame freed without clear_frame, taint aboard
+    "pagecache-residue",   # tainted page-cache page still resident
+)
+
+
+@dataclass
+class TaintDiagnostic:
+    """One structured finding from the runtime sanitizer."""
+
+    #: One of :data:`DIAGNOSTIC_KINDS`.
+    kind: str
+    #: Physical frame involved (None for device-level findings).
+    frame: int | None
+    #: Secret name -> tainted bytes involved in this event.
+    tags: Dict[str, int]
+    #: Simulated call sites that originally planted the tainted bytes.
+    origins: Tuple[str, ...]
+    #: Simulated call site whose action triggered the diagnostic.
+    trigger_site: str
+    detail: str = ""
+
+    @property
+    def tainted_bytes(self) -> int:
+        return sum(self.tags.values())
+
+    def render(self) -> str:
+        tags = ", ".join(f"{name}:{count}B" for name, count in sorted(self.tags.items()))
+        where = f"frame {self.frame}" if self.frame is not None else "device"
+        origins = "; ".join(self.origins) or "?"
+        line = (
+            f"[{self.kind}] {where} holds {tags} "
+            f"(planted by {origins}; triggered by {self.trigger_site})"
+        )
+        if self.detail:
+            line += f" — {self.detail}"
+        return line
+
+
+@dataclass
+class CrossCheckFinding:
+    """One disagreement between the taint oracle and the scanner."""
+
+    #: 'oracle-missed-copy' | 'count-mismatch' | 'scanner-missed-fragment'
+    kind: str
+    pattern: str
+    detail: str
+
+    def render(self) -> str:
+        return f"[{self.kind}] {self.pattern}: {self.detail}"
+
+
+@dataclass
+class CrossCheckResult:
+    """Outcome of oracle-vs-scanner validation."""
+
+    findings: List[CrossCheckFinding] = field(default_factory=list)
+    #: pattern -> (oracle full copies, scanner full copies)
+    counts: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def consistent(self) -> bool:
+        """True when the scanner saw exactly what the oracle tracked.
+
+        ``scanner-missed-fragment`` findings do not break consistency:
+        tail fragments without the pattern prefix are *expected* scanner
+        blind spots (the motivation for having an oracle at all).
+        """
+        return all(f.kind == "scanner-missed-fragment" for f in self.findings)
+
+    def render(self) -> str:
+        lines = []
+        for pattern, (oracle, scanner) in sorted(self.counts.items()):
+            verdict = "ok" if oracle == scanner else "MISMATCH"
+            lines.append(f"  {pattern:>6}: oracle={oracle} scanner={scanner} [{verdict}]")
+        for finding in self.findings:
+            lines.append("  " + finding.render())
+        status = "CONSISTENT" if self.consistent else "INCONSISTENT"
+        lines.append(f"  => oracle and scanner are {status}")
+        return "\n".join(lines)
+
+
+@dataclass
+class TaintReport:
+    """Ground-truth taint state of the whole machine at one instant."""
+
+    #: Secret name -> tainted bytes currently in RAM.
+    by_tag: Dict[str, int] = field(default_factory=dict)
+    #: Region name (user/pagecache/kernel_buffer/free/reserved) -> bytes.
+    by_region: Dict[str, int] = field(default_factory=dict)
+    #: Pattern name -> full in-RAM copies *tracked by the oracle*.
+    full_copies: Dict[str, int] = field(default_factory=dict)
+    #: Pattern name -> full copies present in RAM but NOT fully tainted
+    #: (an oracle miss; must be zero for a healthy sanitizer).
+    untracked_copies: Dict[str, int] = field(default_factory=dict)
+    #: Tainted fragments that carry no full copy (partial leaks).
+    fragments: int = 0
+    #: Pattern name -> occurrences in the raw swap device image.
+    swap_hits: Dict[str, int] = field(default_factory=dict)
+    diagnostics: List[TaintDiagnostic] = field(default_factory=list)
+    #: Originating call site -> {secret name -> bytes planted}.
+    site_table: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    tainted_bytes_total: int = 0
+    #: Snapshot of memory at report time, kept for cross_check.
+    _snapshot: bytes = b""
+    #: Pattern name -> pattern bytes, kept for cross_check.
+    _patterns: Dict[str, bytes] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # scanner validation
+    # ------------------------------------------------------------------
+    def cross_check(self, scan_report) -> CrossCheckResult:
+        """Validate a :class:`~repro.attacks.scanner.ScanReport` against
+        this oracle.  Disagreements become findings:
+
+        * a scanner full match whose bytes the oracle never tainted is
+          an ``oracle-missed-copy`` (sanitizer bug — a copy path
+          escaped instrumentation);
+        * differing full-copy counts are a ``count-mismatch`` (scanner
+          under- or double-count, or an oracle miss);
+        * tainted fragments the scanner cannot see (no pattern prefix)
+          are reported as ``scanner-missed-fragment`` — informational,
+          they quantify the scanner's structural blind spot.
+        """
+        result = CrossCheckResult()
+        scanner_full: Dict[str, int] = {}
+        for match in scan_report.matches:
+            if match.full:
+                scanner_full[match.pattern] = scanner_full.get(match.pattern, 0) + 1
+        for pattern in self._patterns:
+            oracle = self.full_copies.get(pattern, 0)
+            scanner = scanner_full.get(pattern, 0)
+            result.counts[pattern] = (oracle, scanner)
+            untracked = self.untracked_copies.get(pattern, 0)
+            if untracked:
+                result.findings.append(
+                    CrossCheckFinding(
+                        kind="oracle-missed-copy",
+                        pattern=pattern,
+                        detail=f"{untracked} full copies in RAM carry no taint",
+                    )
+                )
+            if oracle != scanner:
+                result.findings.append(
+                    CrossCheckFinding(
+                        kind="count-mismatch",
+                        pattern=pattern,
+                        detail=f"oracle tracked {oracle} full copies, "
+                               f"scanner reported {scanner}",
+                    )
+                )
+        if self.fragments:
+            result.findings.append(
+                CrossCheckFinding(
+                    kind="scanner-missed-fragment",
+                    pattern="*",
+                    detail=f"{self.fragments} tainted fragments carry key bytes "
+                           f"a prefix-anchored scanner cannot attribute",
+                )
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def diagnostics_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for diag in self.diagnostics:
+            counts[diag.kind] = counts.get(diag.kind, 0) + 1
+        return counts
+
+    def render(self, max_diagnostics: int = 20) -> str:
+        lines = [f"KeySan taint report — {self.tainted_bytes_total} tainted bytes in RAM"]
+        if self.by_tag:
+            lines.append("  by secret : " + ", ".join(
+                f"{name}={count}B" for name, count in sorted(self.by_tag.items())))
+        if self.by_region:
+            lines.append("  by region : " + ", ".join(
+                f"{name}={count}B" for name, count in sorted(self.by_region.items())))
+        lines.append("  full copies tracked : " + (", ".join(
+            f"{name}={count}" for name, count in sorted(self.full_copies.items()))
+            or "none"))
+        if self.untracked_copies and any(self.untracked_copies.values()):
+            lines.append("  UNTRACKED copies    : " + ", ".join(
+                f"{name}={count}" for name, count in sorted(self.untracked_copies.items())
+                if count))
+        lines.append(f"  partial fragments   : {self.fragments}")
+        if self.swap_hits and any(self.swap_hits.values()):
+            lines.append("  swap device hits    : " + ", ".join(
+                f"{name}={count}" for name, count in sorted(self.swap_hits.items())
+                if count))
+        if self.site_table:
+            lines.append("  leaks by originating call site:")
+            ordered = sorted(
+                self.site_table.items(),
+                key=lambda item: -sum(item[1].values()),
+            )
+            for site, tags in ordered:
+                tag_text = ", ".join(
+                    f"{name}:{count}B" for name, count in sorted(tags.items()))
+                lines.append(f"    {site:<48} {tag_text}")
+        by_kind = self.diagnostics_by_kind()
+        if by_kind:
+            lines.append("  diagnostics: " + ", ".join(
+                f"{kind}={count}" for kind, count in sorted(by_kind.items())))
+            for diag in self.diagnostics[:max_diagnostics]:
+                lines.append("    " + diag.render())
+            if len(self.diagnostics) > max_diagnostics:
+                lines.append(
+                    f"    ... and {len(self.diagnostics) - max_diagnostics} more")
+        return "\n".join(lines)

@@ -1,0 +1,4 @@
+"""Planted keylint violations.  These modules are linted as *text* by
+``tests/analysis/test_lint.py`` — they are never imported or executed,
+and each one exists to prove exactly one rule fires (or that the
+``# keylint: ignore[...]`` escape hatch silences it)."""

@@ -1,0 +1,10 @@
+"""Fixture: bn_free of secret BIGNUMs — every call must be flagged."""
+
+
+def sloppy_key_teardown(rsa, bn_free):
+    bn_free(rsa.d)            # private exponent: must be bn_clear_free
+    bn_free(rsa.p)            # CRT prime
+    priv_bn = rsa.dmp1
+    bn_free(priv_bn)          # secret-hinted local
+    bn_free(rsa.n)            # public modulus: NOT flagged
+    bn_free(rsa.e)            # public exponent: NOT flagged

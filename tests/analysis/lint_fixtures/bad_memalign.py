@@ -1,0 +1,16 @@
+"""Fixture: secret-page allocation without mlock in the same function."""
+
+
+def alloc_key_page_swappable(heap, page_size, total):
+    region = heap.memalign(page_size, total)      # flagged: never mlocked
+    return region
+
+
+def alloc_key_page_pinned(process, page_size, total):
+    region = process.heap.memalign(page_size, total)   # clean: mlocked below
+    process.mm.mlock(region, total)
+    return region
+
+
+def memalign(heap, alignment, size):
+    return heap.memalign(alignment, size)         # clean: wrapper definition

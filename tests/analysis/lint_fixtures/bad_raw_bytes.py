@@ -1,0 +1,16 @@
+"""Fixture: raw key bytes retained on Python objects."""
+
+
+class LeakyServer:
+    def __init__(self, key, der):
+        self.exponent_copy = key.d_bytes()        # flagged
+        self.pem: bytes = pem_encode(der)         # flagged (AnnAssign)
+        self.parts = dict(key.part_bytes())       # flagged (nested call)
+        self.name = "sshd"                        # clean
+        local_only = key.q_bytes()                # clean: not retained
+        return_shape = len(local_only)
+        del return_shape
+
+
+def pem_encode(der):
+    return der

@@ -1,0 +1,11 @@
+"""Fixture: raw-RAM primitives called outside attacks/ and sanitizer/."""
+
+
+def peek_at_ram(kernel):
+    dump = kernel.physmem.snapshot()      # flagged
+    view = kernel.physmem.raw_view()      # flagged
+    return len(dump), len(view)
+
+
+def harmless(camera):
+    return camera.snapshot                 # attribute access, not a call

@@ -1,0 +1,12 @@
+"""Fixture: every planted violation silenced by the escape hatch."""
+
+
+class DeliberateNegativePath:
+    def __init__(self, key, kernel, bn_free):
+        bn_free(key.d)  # keylint: ignore[bn-free]
+        self.d_raw = key.d_bytes()  # keylint: ignore[raw-secret-bytes]
+        self.dump = kernel.physmem.snapshot()  # keylint: ignore[*]
+
+
+def unpinned_but_audited(heap, page_size, total):
+    return heap.memalign(page_size, total)  # keylint: ignore[memalign-mlock]

@@ -1,0 +1,137 @@
+"""keylint: every rule fires on its fixture, the escape hatch works,
+and the real source tree is clean."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    RULE_NAMES,
+    LintViolation,
+    lint_file,
+    lint_paths,
+    lint_source,
+    render_report,
+)
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+SRC_REPRO = Path(__file__).parent.parent.parent / "src" / "repro"
+
+
+def rules_in(violations):
+    return {violation.rule for violation in violations}
+
+
+class TestRulesFire:
+    def test_bn_free_flags_secret_arguments_only(self):
+        violations = lint_file(FIXTURES / "bad_bn_free.py")
+        assert rules_in(violations) == {"bn-free"}
+        assert len(violations) == 3  # d, p, priv_bn — not n, not e
+        assert all("bn_clear_free" in v.message for v in violations)
+
+    def test_raw_secret_bytes_flags_retained_attributes(self):
+        violations = lint_file(FIXTURES / "bad_raw_bytes.py")
+        assert rules_in(violations) == {"raw-secret-bytes"}
+        flagged_attrs = {v.message.split()[0] for v in violations}
+        assert flagged_attrs == {"self.exponent_copy", "self.pem", "self.parts"}
+
+    def test_snapshot_scope_flags_raw_ram_calls(self):
+        violations = lint_file(FIXTURES / "bad_snapshot.py")
+        assert rules_in(violations) == {"snapshot-scope"}
+        assert len(violations) == 2  # snapshot() + raw_view(), not the attr
+
+    def test_memalign_without_mlock_flagged(self):
+        violations = lint_file(FIXTURES / "bad_memalign.py")
+        assert rules_in(violations) == {"memalign-mlock"}
+        assert len(violations) == 1
+        assert "alloc_key_page_swappable" in violations[0].message
+
+    def test_every_rule_has_a_firing_fixture(self):
+        violations = lint_paths([FIXTURES])
+        assert rules_in(violations) == set(RULE_NAMES)
+
+
+class TestEscapeHatch:
+    def test_ignored_fixture_is_clean(self):
+        assert lint_file(FIXTURES / "ignored_ok.py") == []
+
+    def test_ignore_is_rule_specific(self):
+        source = (
+            "def f(bn_free, rsa):\n"
+            "    bn_free(rsa.d)  # keylint: ignore[snapshot-scope]\n"
+        )
+        violations = lint_source(source, "f.py")
+        assert rules_in(violations) == {"bn-free"}
+
+    def test_ignore_star_silences_everything(self):
+        source = (
+            "def f(bn_free, rsa):\n"
+            "    bn_free(rsa.d)  # keylint: ignore[*]\n"
+        )
+        assert lint_source(source, "f.py") == []
+
+    def test_ignore_only_covers_its_own_line(self):
+        source = (
+            "def f(bn_free, rsa):\n"
+            "    x = 1  # keylint: ignore[bn-free]\n"
+            "    bn_free(rsa.d)\n"
+        )
+        assert len(lint_source(source, "f.py")) == 1
+
+
+class TestPathExemptions:
+    SNAPSHOT_SRC = "def f(mem):\n    return mem.snapshot()\n"
+    RETAIN_SRC = "class C:\n    def __init__(self, key):\n        self.raw = key.d_bytes()\n"
+
+    def test_attacks_may_snapshot(self):
+        assert lint_source(self.SNAPSHOT_SRC, "attacks/scanner.py") == []
+        assert lint_source(self.SNAPSHOT_SRC, "sanitizer/keysan.py") == []
+
+    def test_everyone_else_may_not(self):
+        assert rules_in(lint_source(self.SNAPSHOT_SRC, "kernel/vm.py")) == {
+            "snapshot-scope"
+        }
+
+    def test_harness_may_hold_patterns(self):
+        assert lint_source(self.RETAIN_SRC, "core/simulation.py") == []
+        assert lint_source(self.RETAIN_SRC, "attacks/keysearch.py") == []
+
+    def test_ssl_layer_may_not_hold_raw_bytes(self):
+        assert rules_in(lint_source(self.RETAIN_SRC, "ssl/rsa_st.py")) == {
+            "raw-secret-bytes"
+        }
+
+
+class TestCleanTree:
+    def test_src_repro_has_zero_violations(self):
+        violations = lint_paths([SRC_REPRO])
+        assert violations == [], render_report(violations)
+
+    def test_render_report_mentions_rule_counts(self):
+        violations = lint_paths([FIXTURES])
+        text = render_report(violations)
+        for rule in RULE_NAMES:
+            assert rule in text
+        assert f"{len(violations)} violations" in text
+
+    def test_clean_report_text(self):
+        assert render_report([]) == "keylint: no violations"
+
+
+class TestCliEntryPoints:
+    def test_module_cli_clean_tree(self, capsys):
+        from repro.cli import main
+
+        assert main(["lint", str(SRC_REPRO)]) == 0
+        assert "no violations" in capsys.readouterr().out
+
+    def test_module_cli_fixture_tree(self, capsys):
+        from repro.cli import main
+
+        assert main(["lint", str(FIXTURES)]) == 1
+        out = capsys.readouterr().out
+        assert "bn-free" in out and "memalign-mlock" in out
+
+    def test_violation_render_is_clickable(self):
+        violation = LintViolation("a/b.py", 3, 4, "bn-free", "boom")
+        assert violation.render() == "a/b.py:3:4: [bn-free] boom"

@@ -316,3 +316,64 @@ class TestProperties:
         for head in heads:
             buddy.free_pages(head)
         assert buddy.free_frames() == 64
+
+
+class TestFreeHook:
+    """The KeySan on_free hook: fired on every free path, with the
+    allocator in a consistent (invariant-checkable) state."""
+
+    def test_hook_reports_head_order_cleared(self):
+        _, buddy = make_allocator(frames=64)
+        events = []
+        buddy.on_free = lambda head, order, cleared: (
+            events.append((head, order, cleared)),
+            buddy.check_invariants(),
+        )
+        head0 = buddy.alloc_pages(0)
+        head2 = buddy.alloc_pages(2)
+        buddy.free_pages(head0)
+        buddy.free_pages(head2)
+        assert events == [(head0, 0, False), (head2, 2, False)]
+
+    def test_hook_sees_clear_on_free(self):
+        _, buddy = make_allocator(frames=64)
+        buddy.clear_on_free = True
+        events = []
+        buddy.on_free = lambda head, order, cleared: events.append(cleared)
+        buddy.free_pages(buddy.alloc_pages(0))
+        assert events == [True]
+
+    def test_hook_fires_on_put_page_path(self):
+        _, buddy = make_allocator(frames=64)
+        events = []
+        buddy.on_free = lambda head, order, cleared: (
+            events.append(head),
+            buddy.check_invariants(),
+        )
+        frame = buddy.alloc_pages(0)
+        buddy.get_page(frame)
+        buddy.put_page(frame)
+        assert events == []  # still referenced
+        buddy.put_page(frame)
+        assert events == [frame]
+
+    @settings(max_examples=20, deadline=None)
+    @given(schedule=st.lists(st.integers(0, 3), min_size=1, max_size=40))
+    def test_invariants_hold_at_every_hook_firing(self, schedule):
+        """check_invariants() from inside the hook — the sanitizer's
+        throttled call site — must never trip, whatever the schedule."""
+        _, buddy = make_allocator(frames=128)
+        buddy.on_free = lambda head, order, cleared: buddy.check_invariants()
+        live = []
+        for step in schedule:
+            if step < 3:
+                try:
+                    live.append((buddy.alloc_pages(step), step))
+                except OutOfMemoryError:
+                    continue
+            elif live:
+                head, _order = live.pop(len(live) // 2)
+                buddy.free_pages(head)
+        for head, _order in live:
+            buddy.free_pages(head)
+        buddy.check_invariants()

@@ -1,0 +1,78 @@
+"""Unit tests for the byte-granular shadow map."""
+
+import pytest
+
+from repro.sanitizer.shadow import ShadowMap, TaintRun
+
+
+def test_fresh_map_is_clean():
+    shadow = ShadowMap(1024)
+    assert shadow.total_tainted() == 0
+    assert not shadow.any_in(0, 1024)
+    assert shadow.runs_in(0, 1024) == []
+    assert list(shadow.iter_tainted_chunks(256)) == []
+
+
+def test_set_count_clear_roundtrip():
+    shadow = ShadowMap(1024)
+    shadow.set_range(100, 50, tag_id=3, origin_id=7)
+    assert shadow.total_tainted() == 50
+    assert shadow.count_in(0, 1024) == 50
+    assert shadow.count_in(100, 50) == 50
+    assert shadow.count_in(90, 20) == 10
+    assert shadow.any_in(149, 1)
+    assert not shadow.any_in(150, 100)
+    assert shadow.covered(100, 50)
+    assert not shadow.covered(99, 51)
+    assert shadow.tag_at(100) == 3
+    shadow.clear_range(100, 25)
+    assert shadow.total_tainted() == 25
+    assert shadow.tag_at(100) == 0
+
+
+def test_copy_range_carries_tag_and_origin():
+    shadow = ShadowMap(1024)
+    shadow.set_range(0, 16, tag_id=2, origin_id=9)
+    shadow.copy_range(0, 512, 64)
+    runs = shadow.runs_in(512, 64)
+    assert runs == [TaintRun(512, 16, 2, 9)]
+
+
+def test_runs_split_on_tag_and_origin_boundaries():
+    shadow = ShadowMap(256)
+    shadow.set_range(10, 10, tag_id=1, origin_id=1)
+    shadow.set_range(20, 10, tag_id=1, origin_id=2)   # same tag, new origin
+    shadow.set_range(30, 10, tag_id=2, origin_id=2)   # new tag
+    shadow.set_range(50, 5, tag_id=1, origin_id=1)    # detached run
+    runs = shadow.runs_in(0, 256)
+    assert runs == [
+        TaintRun(10, 10, 1, 1),
+        TaintRun(20, 10, 1, 2),
+        TaintRun(30, 10, 2, 2),
+        TaintRun(50, 5, 1, 1),
+    ]
+    assert runs[0].end == 20
+
+
+def test_iter_tainted_chunks_skips_clean_pages():
+    shadow = ShadowMap(4096 * 8)
+    shadow.set_range(4096 * 2 + 7, 3, tag_id=1, origin_id=1)
+    shadow.set_range(4096 * 6 + 4000, 200, tag_id=1, origin_id=1)
+    chunks = list(shadow.iter_tainted_chunks(4096))
+    assert chunks == [(4096 * 2, 4096), (4096 * 6, 4096), (4096 * 7, 4096)]
+
+
+def test_bounds_and_id_validation():
+    shadow = ShadowMap(64)
+    with pytest.raises(ValueError):
+        shadow.set_range(60, 10, tag_id=1, origin_id=1)
+    with pytest.raises(ValueError):
+        shadow.set_range(0, 4, tag_id=0, origin_id=1)     # tag 0 = clean
+    with pytest.raises(ValueError):
+        shadow.set_range(0, 4, tag_id=256, origin_id=1)
+    with pytest.raises(ValueError):
+        shadow.count_in(-1, 4)
+    with pytest.raises(ValueError):
+        ShadowMap(0)
+    with pytest.raises(ValueError):
+        list(shadow.iter_tainted_chunks(0))

@@ -1,0 +1,80 @@
+"""Property: the taint oracle and the pattern scanner agree.
+
+KeySan's propagation is anchored so that any fragment the scanner can
+report (a >= 20-byte pattern-prefix match) necessarily carries taint;
+the scanner in turn counts exactly the full in-RAM copies.  Their
+full-copy counts must therefore be *equal* — at every protection
+level, for any seeded connection schedule.  A disagreement in either
+direction is a bug: an instrumentation gap (oracle missed a copy path)
+or a scanner defect (double-count / miss).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.protection import ProtectionLevel
+from repro.core.simulation import Simulation, SimulationConfig
+
+#: One workload step: (operation, size).
+_STEPS = st.lists(
+    st.tuples(st.sampled_from(["cycle", "hold"]), st.integers(1, 6)),
+    min_size=1,
+    max_size=3,
+)
+
+
+@pytest.mark.parametrize("level", list(ProtectionLevel), ids=lambda l: l.value)
+@settings(
+    max_examples=5,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=st.integers(0, 2**16), schedule=_STEPS)
+def test_oracle_and_scanner_agree_on_full_copies(level, seed, schedule):
+    sim = Simulation(
+        SimulationConfig(
+            taint=True,
+            level=level,
+            memory_mb=8,
+            key_bits=256,
+            seed=seed,
+        )
+    )
+    sim.start_server()
+    for op, size in schedule:
+        if op == "cycle":
+            sim.cycle_connections(size)
+        else:
+            sim.hold_connections(size)
+
+    report = sim.taint_report()
+    check = report.cross_check(sim.scan())
+
+    assert check.consistent, "\n" + check.render()
+    for pattern, (oracle, scanner) in check.counts.items():
+        assert oracle == scanner, (
+            f"{level.value}/seed={seed}: pattern {pattern!r} "
+            f"oracle={oracle} scanner={scanner}"
+        )
+    # The oracle must not have let any copy path escape instrumentation.
+    assert not any(report.untracked_copies.values())
+
+
+@settings(max_examples=5, deadline=None, derandomize=True)
+@given(seed=st.integers(0, 2**16))
+def test_disclosure_oracle_matches_attack_counts(seed):
+    """What an attack reports finding, the oracle saw it taking."""
+    sim = Simulation(
+        SimulationConfig(taint=True, memory_mb=8, key_bits=256, seed=seed)
+    )
+    sim.start_server()
+    sim.cycle_connections(4)
+    result = sim.run_ext2_attack(300)
+    disclosures = [d for d in sim.keysan.diagnostics if d.kind == "disclosure"]
+    if result.total_copies:
+        assert disclosures, "attack found copies the oracle never saw leave RAM"
+    stolen = sum(d.tainted_bytes for d in disclosures)
+    # Full-pattern finds in the image are a subset of tainted bytes out.
+    assert stolen >= 0

@@ -83,3 +83,26 @@ class TestCommands:
         for level in ("none", "application", "library", "kernel",
                       "integrated", "hardware"):
             assert level in out
+
+    def test_taint_unmitigated(self, capsys):
+        assert main(["taint", "--level", "none"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "KeySan taint report" in out
+        assert "freed-tainted-frame" in out
+        assert "oracle and scanner are CONSISTENT" in out
+
+    def test_taint_integrated(self, capsys):
+        assert main(["taint", "--level", "integrated"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "oracle and scanner are CONSISTENT" in out
+
+    def test_lint_clean_tree(self, capsys):
+        import repro
+
+        package_dir = repro.__file__.rsplit("/", 1)[0]
+        assert main(["lint", package_dir]) == 0
+        assert "no violations" in capsys.readouterr().out
+
+    def test_lint_default_target_is_package(self, capsys):
+        assert main(["lint"]) == 0
+        assert "no violations" in capsys.readouterr().out

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Standalone keylint runner: secret-hygiene lint over a source tree.
+
+Usage::
+
+    python tools/keylint.py [PATH ...]     # default: src/repro
+
+Exit status is 1 when any violation is found, so it slots directly
+into CI.  Equivalent to ``python -m repro lint`` but importable-path
+independent: it locates the repository's ``src`` next to itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.analysis.lint import lint_paths, render_report  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="keylint", description="AST secret-hygiene linter (KeySan static pass)"
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path, default=[SRC / "repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        violations = lint_paths(args.paths)
+    except FileNotFoundError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(render_report(violations))
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,21 +7,27 @@ Two sweep shapes from §2:
   machine per attack, repeated ``repetitions`` times per (N, D) cell;
   the paper averaged 15 attacks.
 
-* **n_tty sweep** — establish N connections and *hold them open*, then
-  dump a random ~50% window ``repetitions`` times; the paper averaged
-  20 attacks.
+* **n_tty sweep** — establish N connections and hold them open, then
+  dump a random ~50% window; a fresh machine per repetition (the paper
+  averaged 20 attacks per point).
 
 ``mitigation_comparison`` runs the n_tty sweep at baseline and at a
 mitigated level — the before/after pairs of Figures 7, 17 and 18.
+
+Every driver expresses its grid as a flat list of independent
+:class:`~repro.analysis.parallel.RunSpec` runs and executes them
+through :mod:`repro.analysis.parallel`: per-run seeds come from a hash
+of the full spec (collision-free — the old arithmetic derivation
+silently reused machines across cells), and ``workers=N`` fans the
+grid over a process pool with byte-identical results at any N.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.protection import ProtectionLevel
-from repro.core.simulation import Simulation, SimulationConfig
 
 #: Paper-scale parameter grids (§2).
 PAPER_EXT2_CONNECTIONS = tuple(range(50, 501, 50))
@@ -54,6 +60,8 @@ class Ext2SweepResult:
     server: str
     level: ProtectionLevel
     cells: Dict[Tuple[int, int], SweepCell] = field(default_factory=dict)
+    #: Runs that crashed or timed out (empty on a clean sweep).
+    failures: List = field(default_factory=list)
 
     def copies_surface(self) -> Dict[Tuple[int, int], float]:
         return {key: cell.avg_copies for key, cell in self.cells.items()}
@@ -69,6 +77,8 @@ class NttySweepResult:
     server: str
     level: ProtectionLevel
     cells: Dict[int, SweepCell] = field(default_factory=dict)
+    #: Runs that crashed or timed out (empty on a clean sweep).
+    failures: List = field(default_factory=list)
 
     def copies_series(self) -> List[Tuple[int, float]]:
         return sorted((conns, cell.avg_copies) for conns, cell in self.cells.items())
@@ -86,38 +96,22 @@ def ext2_attack_sweep(
     seed: int = 0,
     memory_mb: int = 16,
     key_bits: int = 1024,
+    workers: int = 1,
+    timeout_s: Optional[float] = None,
+    progress=None,
 ) -> Ext2SweepResult:
     """Reproduce Figure 1 (openssh) / Figure 2 (apache), or their
     §5.2/§6.2 mitigated re-runs at another protection level."""
-    result = Ext2SweepResult(server=server, level=level)
-    for conns in connections:
-        for dirs in directories:
-            copies: List[int] = []
-            successes = 0
-            elapsed: List[float] = []
-            for rep in range(repetitions):
-                sim = Simulation(
-                    SimulationConfig(
-                        server=server,
-                        level=level,
-                        seed=seed + 1000 * rep + conns + dirs,
-                        memory_mb=memory_mb,
-                        key_bits=key_bits,
-                    )
-                )
-                sim.start_server()
-                sim.cycle_connections(conns)
-                attack = sim.run_ext2_attack(dirs)
-                copies.append(attack.total_copies)
-                successes += attack.success
-                elapsed.append(attack.elapsed_s)
-            result.cells[(conns, dirs)] = SweepCell(
-                avg_copies=sum(copies) / repetitions,
-                success_rate=successes / repetitions,
-                avg_elapsed_s=sum(elapsed) / repetitions,
-                samples=repetitions,
-            )
-    return result
+    from repro.analysis import parallel
+
+    specs = parallel.ext2_sweep_specs(
+        server, connections, directories, repetitions, level,
+        seed, memory_mb, key_bits,
+    )
+    outcomes, failures = parallel.run_specs(
+        specs, workers=workers, timeout_s=timeout_s, progress=progress,
+    )
+    return parallel.merge_ext2(server, level, outcomes, failures)
 
 
 def ntty_attack_sweep(
@@ -128,38 +122,21 @@ def ntty_attack_sweep(
     seed: int = 0,
     memory_mb: int = 16,
     key_bits: int = 1024,
+    workers: int = 1,
+    timeout_s: Optional[float] = None,
+    progress=None,
 ) -> NttySweepResult:
     """Reproduce Figure 3 (openssh) / Figure 4 (apache), or the
     mitigated series of Figures 7, 17 and 18."""
-    result = NttySweepResult(server=server, level=level)
-    for conns in connections:
-        sim = Simulation(
-            SimulationConfig(
-                server=server,
-                level=level,
-                seed=seed + conns,
-                memory_mb=memory_mb,
-                key_bits=key_bits,
-            )
-        )
-        sim.start_server()
-        if conns:
-            sim.hold_connections(conns)
-        copies: List[int] = []
-        successes = 0
-        elapsed: List[float] = []
-        for _ in range(repetitions):
-            attack = sim.run_ntty_attack()
-            copies.append(attack.total_copies)
-            successes += attack.success
-            elapsed.append(attack.elapsed_s)
-        result.cells[conns] = SweepCell(
-            avg_copies=sum(copies) / repetitions,
-            success_rate=successes / repetitions,
-            avg_elapsed_s=sum(elapsed) / repetitions,
-            samples=repetitions,
-        )
-    return result
+    from repro.analysis import parallel
+
+    specs = parallel.ntty_sweep_specs(
+        server, connections, repetitions, level, seed, memory_mb, key_bits,
+    )
+    outcomes, failures = parallel.run_specs(
+        specs, workers=workers, timeout_s=timeout_s, progress=progress,
+    )
+    return parallel.merge_ntty(server, level, outcomes, failures)
 
 
 def mitigation_comparison(
@@ -170,17 +147,38 @@ def mitigation_comparison(
     seed: int = 0,
     memory_mb: int = 16,
     key_bits: int = 1024,
+    workers: int = 1,
+    timeout_s: Optional[float] = None,
+    progress=None,
 ) -> Tuple[NttySweepResult, NttySweepResult]:
     """Before/after n_tty sweeps (Figures 7a+7b, 17, 18).
 
-    Returns ``(baseline, mitigated)``.
+    Both levels' grids run as one flat spec list (so a pool interleaves
+    them freely); per-level results merge apart afterwards.  Returns
+    ``(baseline, mitigated)``.
     """
-    baseline = ntty_attack_sweep(
+    from repro.analysis import parallel
+
+    base_specs = parallel.ntty_sweep_specs(
         server, connections, repetitions, ProtectionLevel.NONE,
-        seed=seed, memory_mb=memory_mb, key_bits=key_bits,
+        seed, memory_mb, key_bits,
     )
-    mitigated = ntty_attack_sweep(
+    mit_specs = parallel.ntty_sweep_specs(
         server, connections, repetitions, mitigated_level,
-        seed=seed, memory_mb=memory_mb, key_bits=key_bits,
+        seed, memory_mb, key_bits,
+    )
+    outcomes, failures = parallel.run_specs(
+        base_specs + mit_specs,
+        workers=workers, timeout_s=timeout_s, progress=progress,
+    )
+    split = len(base_specs)
+    base_level = ProtectionLevel.NONE.value
+    baseline = parallel.merge_ntty(
+        server, ProtectionLevel.NONE, outcomes[:split],
+        [f for f in failures if f.spec.level == base_level],
+    )
+    mitigated = parallel.merge_ntty(
+        server, mitigated_level, outcomes[split:],
+        [f for f in failures if f.spec.level != base_level],
     )
     return baseline, mitigated

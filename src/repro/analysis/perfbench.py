@@ -86,6 +86,8 @@ def run_scp_stress(
     ``transfers`` defaults to a fifth of the paper's 4000 so the quick
     benches stay fast; pass 4000 for paper scale.
     """
+    if concurrent < 1:
+        raise ValueError("concurrent must be at least 1")
     sim = simulation or Simulation(
         SimulationConfig(
             server="openssh",
@@ -96,11 +98,21 @@ def run_scp_stress(
         )
     )
     sim.start_server()
+    # The client holds ``concurrent`` live sessions for the whole run
+    # (the paper's "20 concurrent scp connections kept busy").  Pool
+    # warm-up happens before the clock starts, mirroring run_siege's
+    # ensure_pool; each finished transfer closes its session (scp is
+    # one file per connection) and a replacement opens immediately.
+    server = sim.server
+    server.set_concurrency(concurrent)
     start_us = sim.kernel.clock.now_us
     bytes_moved = 0
     for index in range(transfers):
         size = SCP_FILE_SIZES[index % len(SCP_FILE_SIZES)]
-        sim.server.run_connection_cycle(size)
+        connection = server.connections[0]
+        connection.transfer(size, server.rng)
+        connection.close()
+        server.open_connection()
         bytes_moved += size
     elapsed_s = (sim.kernel.clock.now_us - start_us) / 1e6
     sim.stop_server()

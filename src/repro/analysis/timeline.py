@@ -104,6 +104,7 @@ def run_timeline(
     key_bits: int = 1024,
     cycles_per_slot: int = 4,
     simulation: Optional[Simulation] = None,
+    incremental_scan: bool = False,
 ) -> TimelineResult:
     """Execute the 29-step schedule and scan at every step.
 
@@ -111,6 +112,10 @@ def run_timeline(
     slot restarts within one 2-minute step (the paper's ~4-second
     transfers restart ~30 times; 4 keeps test runs fast while
     preserving the churn dynamics).
+
+    ``incremental_scan=True`` runs the 30 per-step scans through the
+    scanner's generation-counter cache: identical counts and locations,
+    but each step only re-searches the frames the step touched.
     """
     if simulation is None:
         simulation = Simulation(
@@ -141,7 +146,7 @@ def run_timeline(
         if running:
             _drive_traffic(sim, concurrency, cycles_per_slot)
 
-        report = sim.scan()
+        report = sim.scan(incremental=incremental_scan)
         result.steps.append(
             TimelineStep(
                 index=step,

@@ -25,20 +25,20 @@ from typing import Dict, Iterator, List, Optional, Tuple
 from repro.crypto.pem import pem_body_probe
 from repro.crypto.rsa import RsaKey
 
+# One shared overlapping-search implementation (also used by
+# PhysicalMemory.find_all and the incremental scanner); re-exported
+# here because dump analysis is where every attack imports it from.
+from repro.mem.bytesearch import find_all_occurrences
+
+__all__ = [
+    "AttackResult",
+    "KeyPatternSet",
+    "PATTERN_NAMES",
+    "find_all_occurrences",
+]
+
 #: Pattern names in reporting order.
 PATTERN_NAMES = ("d", "p", "q", "pem")
-
-
-def find_all_occurrences(haystack: bytes, needle: bytes) -> List[int]:
-    """Every (possibly overlapping) offset of ``needle`` in ``haystack``."""
-    if not needle:
-        raise ValueError("empty search pattern")
-    hits: List[int] = []
-    pos = haystack.find(needle)
-    while pos != -1:
-        hits.append(pos)
-        pos = haystack.find(needle, pos + 1)
-    return hits
 
 
 class KeyPatternSet:

@@ -14,10 +14,11 @@ The scan charges simulated time at the paper's measured rate (about
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
-from repro.attacks.keysearch import KeyPatternSet, find_all_occurrences
+from repro.attacks.keysearch import KeyPatternSet
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.kernel.kernel import Kernel
@@ -101,7 +102,18 @@ class MemoryScanner:
     the module's ``MIN`` words) and then extends the comparison: a
     match covering the whole pattern is *full*, anything shorter is
     *partial* — a truncated copy whose tail was overwritten or never
-    disclosed."""
+    disclosed.
+
+    The scan reads RAM through :meth:`PhysicalMemory.raw_view` — no
+    full-memory copy per pass — and can run **incrementally**: the
+    scanner caches every prefix occurrence together with a snapshot of
+    the per-frame generation counters, and ``scan(incremental=True)``
+    re-searches only the byte ranges around frames whose generation
+    changed (expanded by ``prefix length - 1`` so matches straddling a
+    frame boundary are re-found).  Suppression of overlapping matches
+    and full/partial extents are recomputed from the cached occurrence
+    list, so the incremental report is byte-identical to a full pass.
+    """
 
     def __init__(
         self,
@@ -116,19 +128,45 @@ class MemoryScanner:
         self.patterns = patterns
         self.min_match = min_match
         self.include_partial = include_partial
+        #: Generation counters at the last scan (None = never scanned).
+        self._cached_gens: Optional[List[int]] = None
+        #: Per-pattern sorted prefix-occurrence offsets at the last scan.
+        self._occurrences: Dict[str, List[int]] = {}
 
-    def scan(self) -> ScanReport:
-        """One pass over all of RAM (a /proc read of the LKM)."""
+    def reset_cache(self) -> None:
+        """Drop the incremental state; the next scan is a full pass."""
+        self._cached_gens = None
+        self._occurrences = {}
+
+    def _prefix(self, pattern: bytes) -> bytes:
+        return pattern[: self.min_match]
+
+    def scan(self, incremental: bool = False) -> ScanReport:
+        """One pass over all of RAM (a /proc read of the LKM).
+
+        With ``incremental=True`` and a prior scan's cache, only the
+        frames modified since that scan are re-searched; the report is
+        identical to a full pass but ``scanned_bytes`` (and the charged
+        simulated time) shrink to the changed ranges.
+        """
         physmem = self.kernel.physmem
-        snapshot = physmem.snapshot()
-        report = ScanReport(scanned_bytes=len(snapshot))
+        gens = list(physmem.frame_generations())
+        if incremental and self._cached_gens is not None:
+            rescanned = self._rescan_dirty(gens)
+        else:
+            for name, pattern in self.patterns.items():
+                self._occurrences[name] = physmem.find_all(self._prefix(pattern))
+            rescanned = physmem.size
+        self._cached_gens = gens
+
+        view = physmem.raw_view()
+        report = ScanReport(scanned_bytes=rescanned)
         for name, pattern in self.patterns.items():
-            prefix = pattern[: self.min_match]
             last_end = -1
-            for offset in find_all_occurrences(snapshot, prefix):
+            for offset in self._occurrences[name]:
                 if offset < last_end:
                     continue  # inside the previous match's extent
-                matched = self._extent(snapshot, offset, pattern)
+                matched = self._extent(view, offset, pattern)
                 last_end = offset + matched
                 full = matched == len(pattern)
                 if not full and not self.include_partial:
@@ -139,17 +177,59 @@ class MemoryScanner:
                 report.matches.append(match)
         report.matches.sort(key=lambda match: match.address)
         self.kernel.clock.advance(
-            SCAN_US_PER_MB * (len(snapshot) / (1024 * 1024)), "scan"
+            SCAN_US_PER_MB * (rescanned / (1024 * 1024)), "scan"
         )
         return report
 
+    def _rescan_dirty(self, gens: List[int]) -> int:
+        """Re-search only changed ranges; returns the bytes re-scanned."""
+        physmem = self.kernel.physmem
+        assert self._cached_gens is not None
+        cached = self._cached_gens
+        dirty = [
+            frame for frame in range(physmem.num_frames)
+            if gens[frame] != cached[frame]
+        ]
+        if not dirty:
+            return 0
+        margin = max(
+            len(self._prefix(pattern)) for _, pattern in self.patterns.items()
+        ) - 1
+        intervals = self._dirty_intervals(dirty, physmem.page_size, margin)
+        for name, pattern in self.patterns.items():
+            prefix = self._prefix(pattern)
+            occurrences = self._occurrences[name]
+            for start, stop in intervals:
+                lo = bisect.bisect_left(occurrences, start)
+                hi = bisect.bisect_left(occurrences, stop)
+                search_end = min(physmem.size, stop + len(prefix) - 1)
+                occurrences[lo:hi] = physmem.find_all(prefix, start, search_end)
+        return sum(stop - start for start, stop in intervals)
+
     @staticmethod
-    def _extent(snapshot: bytes, offset: int, pattern: bytes) -> int:
+    def _dirty_intervals(
+        dirty: List[int], page_size: int, margin: int
+    ) -> List[Tuple[int, int]]:
+        """Merge dirty frames into byte ranges, expanded ``margin``
+        bytes to the left so prefix matches straddling into a dirty
+        frame are re-evaluated."""
+        intervals: List[Tuple[int, int]] = []
+        for frame in dirty:
+            start = max(0, frame * page_size - margin)
+            stop = (frame + 1) * page_size
+            if intervals and start <= intervals[-1][1]:
+                intervals[-1] = (intervals[-1][0], max(intervals[-1][1], stop))
+            else:
+                intervals.append((start, stop))
+        return intervals
+
+    @staticmethod
+    def _extent(view, offset: int, pattern: bytes) -> int:
         """Bytes of ``pattern`` matching at ``offset`` (>= the prefix)."""
-        end = min(len(snapshot), offset + len(pattern))
+        end = min(len(view), offset + len(pattern))
         matched = 0
         for position in range(offset, end):
-            if snapshot[position] != pattern[matched]:
+            if view[position] != pattern[matched]:
                 break
             matched += 1
         return matched

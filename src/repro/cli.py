@@ -7,8 +7,11 @@
     python -m repro timeline --level integrated
     python -m repro ladder                    # all protection levels
     python -m repro scan --level none --connections 12
+    python -m repro sweep --kind ntty --scale quick --workers 4
 
-Every command is deterministic for a given ``--seed``.
+Every command is deterministic for a given ``--seed`` — including
+``sweep`` at any ``--workers`` count (per-run seeds are hashed from
+the run spec, not from execution order).
 """
 
 from __future__ import annotations
@@ -115,6 +118,7 @@ def cmd_timeline(args: argparse.Namespace) -> int:
         memory_mb=args.memory_mb,
         key_bits=args.key_bits,
         cycles_per_slot=args.cycles_per_slot,
+        incremental_scan=args.incremental,
     )
     print(render_timeline(result))
     print()
@@ -178,6 +182,174 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if violations else 0
 
 
+def _sweep_grids(args: argparse.Namespace):
+    """Grid + machine parameters for the chosen ``--scale``."""
+    from repro.analysis import experiments as exp
+
+    if args.scale == "paper":
+        return {
+            "ext2_connections": exp.PAPER_EXT2_CONNECTIONS,
+            "ext2_directories": exp.PAPER_EXT2_DIRECTORIES,
+            "ext2_repetitions": exp.PAPER_EXT2_REPETITIONS,
+            "ntty_connections": exp.PAPER_NTTY_CONNECTIONS,
+            "ntty_repetitions": exp.PAPER_NTTY_REPETITIONS,
+            "perf_transactions": 4000,
+            "ext2_memory_mb": 32,
+            "ntty_memory_mb": 64,
+        }
+    return {
+        "ext2_connections": exp.QUICK_EXT2_CONNECTIONS,
+        "ext2_directories": exp.QUICK_EXT2_DIRECTORIES,
+        "ext2_repetitions": exp.QUICK_REPETITIONS,
+        "ntty_connections": exp.QUICK_NTTY_CONNECTIONS,
+        "ntty_repetitions": exp.QUICK_REPETITIONS,
+        "perf_transactions": 200,
+        "ext2_memory_mb": 16,
+        "ntty_memory_mb": 32,
+    }
+
+
+def _ntty_cells_json(result) -> list:
+    return [
+        {
+            "connections": conns,
+            "avg_copies": cell.avg_copies,
+            "success_rate": cell.success_rate,
+            "avg_elapsed_s": cell.avg_elapsed_s,
+            "samples": cell.samples,
+        }
+        for conns, cell in sorted(result.cells.items())
+    ]
+
+
+def _ext2_cells_json(result) -> list:
+    return [
+        {
+            "connections": conns,
+            "directories": dirs,
+            "avg_copies": cell.avg_copies,
+            "success_rate": cell.success_rate,
+            "avg_elapsed_s": cell.avg_elapsed_s,
+            "samples": cell.samples,
+        }
+        for (conns, dirs), cell in sorted(result.cells.items())
+    ]
+
+
+def _failures_json(failures) -> list:
+    import dataclasses
+
+    return [
+        {"spec": dataclasses.asdict(failure.spec), "error": failure.error}
+        for failure in failures
+    ]
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+    import time
+    from pathlib import Path
+
+    from repro.analysis import parallel
+    from repro.analysis.experiments import (
+        ext2_attack_sweep,
+        mitigation_comparison,
+        ntty_attack_sweep,
+    )
+    from repro.analysis.perfbench import overhead_ratio
+
+    grids = _sweep_grids(args)
+    level = ProtectionLevel(args.level)
+    ntty_mb = args.memory_mb or grids["ntty_memory_mb"]
+    ext2_mb = args.memory_mb or grids["ext2_memory_mb"]
+    progress = parallel.stderr_progress(f"sweep:{args.kind}")
+    common = dict(workers=args.workers, timeout_s=args.timeout,
+                  progress=progress)
+
+    started = time.monotonic()
+    payload = {
+        "kind": args.kind,
+        "server": args.server,
+        "level": args.level,
+        "scale": args.scale,
+        "workers": args.workers,
+        "seed": args.seed,
+        "key_bits": args.key_bits,
+    }
+    failures: list = []
+    if args.kind == "ntty":
+        result = ntty_attack_sweep(
+            args.server, grids["ntty_connections"], grids["ntty_repetitions"],
+            level, seed=args.seed, memory_mb=ntty_mb,
+            key_bits=args.key_bits, **common,
+        )
+        payload.update(memory_mb=ntty_mb, cells=_ntty_cells_json(result))
+        failures = result.failures
+    elif args.kind == "ext2":
+        result = ext2_attack_sweep(
+            args.server, grids["ext2_connections"], grids["ext2_directories"],
+            grids["ext2_repetitions"], level, seed=args.seed,
+            memory_mb=ext2_mb, key_bits=args.key_bits, **common,
+        )
+        payload.update(memory_mb=ext2_mb, cells=_ext2_cells_json(result))
+        failures = result.failures
+    elif args.kind == "mitigation":
+        baseline, mitigated = mitigation_comparison(
+            args.server, grids["ntty_connections"], grids["ntty_repetitions"],
+            mitigated_level=ProtectionLevel.INTEGRATED, seed=args.seed,
+            memory_mb=ntty_mb, key_bits=args.key_bits, **common,
+        )
+        payload.update(
+            memory_mb=ntty_mb,
+            baseline=_ntty_cells_json(baseline),
+            mitigated=_ntty_cells_json(mitigated),
+        )
+        failures = baseline.failures + mitigated.failures
+    else:  # perf: before/after scp or siege through the same pool
+        perf_kind = "scp" if args.server == "openssh" else "siege"
+        memory_mb = args.memory_mb or grids["ext2_memory_mb"]
+        specs = [
+            parallel.perf_spec(perf_kind, lvl, grids["perf_transactions"],
+                               20, args.seed, memory_mb, args.key_bits)
+            for lvl in (ProtectionLevel.NONE, ProtectionLevel.INTEGRATED)
+        ]
+        outcomes, failures = parallel.run_specs(specs, **common)
+        metrics = [
+            parallel.merge_perf(outcome) if outcome else None
+            for outcome in outcomes
+        ]
+        payload.update(memory_mb=memory_mb, bench=perf_kind)
+        if all(metrics):
+            before, after = metrics
+            payload.update(
+                before={"transaction_rate": before.transaction_rate,
+                        "throughput_mbit": before.throughput_mbit,
+                        "response_time_s": before.response_time_s},
+                after={"transaction_rate": after.transaction_rate,
+                       "throughput_mbit": after.throughput_mbit,
+                       "response_time_s": after.response_time_s},
+                overhead=overhead_ratio(before, after),
+            )
+    payload["wall_clock_s"] = round(time.monotonic() - started, 3)
+    payload["failures"] = _failures_json(failures)
+
+    out = args.out
+    if out is None:
+        out = (Path("benchmarks") / "results" /
+               f"sweep_{args.kind}_{args.server}_{args.scale}.json")
+    text = json.dumps(payload, indent=2, sort_keys=False)
+    if str(out) == "-":
+        print(text)
+    else:
+        out = Path(out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n")
+        print(f"sweep {args.kind}/{args.server} @ {args.scale}: "
+              f"{payload['wall_clock_s']}s wall clock, "
+              f"{len(payload['failures'])} failed runs -> {out}")
+    return 1 if failures else 0
+
+
 def cmd_scan(args: argparse.Namespace) -> int:
     sim = _loaded_sim(args)
     report = sim.scan()
@@ -220,6 +392,11 @@ def build_parser() -> argparse.ArgumentParser:
     timeline = sub.add_parser("timeline", help="run the paper's 29-step schedule")
     _add_common(timeline)
     timeline.add_argument("--cycles-per-slot", type=int, default=2)
+    timeline.add_argument(
+        "--incremental", action="store_true",
+        help="route the 30 per-step scans through the incremental "
+             "scanner (identical output, only changed frames re-searched)",
+    )
     timeline.set_defaults(func=cmd_timeline)
 
     ladder = sub.add_parser("ladder", help="compare every protection level")
@@ -231,6 +408,53 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--limit", type=int, default=20,
                       help="max matches to list individually")
     scan.set_defaults(func=cmd_scan)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a full attack/perf sweep over a process pool and "
+             "write JSON results to benchmarks/results/",
+    )
+    sweep.add_argument(
+        "--kind", choices=("ntty", "ext2", "mitigation", "perf"),
+        default="ntty", help="which experiment grid to run (default: ntty)",
+    )
+    sweep.add_argument(
+        "--server", choices=("openssh", "apache"), default="openssh",
+        help="which server to run (default: openssh)",
+    )
+    sweep.add_argument(
+        "--level",
+        choices=[level.value for level in ProtectionLevel],
+        default="none",
+        help="protection level to deploy (default: none)",
+    )
+    sweep.add_argument("--seed", type=int, default=42, help="experiment seed")
+    sweep.add_argument(
+        "--scale", choices=("quick", "paper"), default="quick",
+        help="grid size: scaled-down shapes or the paper's full §2 grids",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size; results are identical at any value",
+    )
+    sweep.add_argument(
+        "--timeout", type=float, default=None,
+        help="sweep wall-clock budget in seconds; late runs are "
+             "recorded as failed cells instead of hanging",
+    )
+    sweep.add_argument(
+        "--memory-mb", type=int, default=None,
+        help="machine RAM in MB (default: per-scale/per-kind)",
+    )
+    sweep.add_argument(
+        "--key-bits", type=int, default=1024, help="RSA modulus size"
+    )
+    sweep.add_argument(
+        "--out", default=None,
+        help="output JSON path ('-' prints to stdout; default "
+             "benchmarks/results/sweep_<kind>_<server>_<scale>.json)",
+    )
+    sweep.set_defaults(func=cmd_sweep)
 
     taint = sub.add_parser(
         "taint",

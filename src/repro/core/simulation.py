@@ -197,9 +197,14 @@ class Simulation:
     # ------------------------------------------------------------------
     # measurement & attacks
     # ------------------------------------------------------------------
-    def scan(self) -> ScanReport:
-        """Run the scanmemory analog over all of RAM."""
-        return self._scanner.scan()
+    def scan(self, incremental: bool = False) -> ScanReport:
+        """Run the scanmemory analog over all of RAM.
+
+        ``incremental=True`` reuses the scanner's cached hits for
+        frames unchanged since the previous scan (identical report,
+        time charged only for the re-searched ranges).
+        """
+        return self._scanner.scan(incremental=incremental)
 
     def taint_report(self):
         """Build the KeySan ground-truth report (requires ``taint=True``)."""

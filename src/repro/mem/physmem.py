@@ -14,9 +14,10 @@ paper's "about 5 seconds to scan the 256MB memory" observation.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Sequence, Tuple
 
 from repro.errors import BadAddressError
+from repro.mem.bytesearch import find_all_occurrences
 
 #: Page size in bytes.  Matches the x86 kernel the paper patched.
 PAGE_SIZE = 4096
@@ -40,6 +41,11 @@ class PhysicalMemory:
         self.num_frames = num_frames
         self.size = num_frames * page_size
         self._data = bytearray(self.size)
+        #: Per-frame modification counters.  Every mutator below bumps
+        #: the counter of each frame it touches; incremental consumers
+        #: (the scanner's cached re-scan path) compare them against a
+        #: snapshot to find exactly the frames that changed.
+        self._frame_gen = [0] * num_frames
         #: Optional KeySan hook target.  Every mutator below notifies it,
         #: and mutation happens *only* through these five methods, which
         #: is what makes the taint shadow exact.
@@ -70,6 +76,24 @@ class PhysicalMemory:
                 f"range [{addr}, {addr + length}) outside physical memory of {self.size} bytes"
             )
 
+    def _touch(self, addr: int, length: int) -> None:
+        """Bump the generation of every frame overlapping the range."""
+        if length <= 0:
+            return
+        first = addr // self.page_size
+        last = (addr + length - 1) // self.page_size
+        for frame in range(first, last + 1):
+            self._frame_gen[frame] += 1
+
+    def frame_generation(self, frame: int) -> int:
+        """Modification counter of one frame (monotonically increasing)."""
+        self._check_frame(frame)
+        return self._frame_gen[frame]
+
+    def frame_generations(self) -> Sequence[int]:
+        """Copy of every frame's generation counter, indexed by frame."""
+        return list(self._frame_gen)
+
     # ------------------------------------------------------------------
     # byte-level access
     # ------------------------------------------------------------------
@@ -82,6 +106,7 @@ class PhysicalMemory:
         """Write ``data`` at physical address ``addr``."""
         self._check_range(addr, len(data))
         self._data[addr : addr + len(data)] = data
+        self._touch(addr, len(data))
         if self.sanitizer is not None:
             self.sanitizer.on_write(addr, bytes(data))
 
@@ -89,6 +114,7 @@ class PhysicalMemory:
         """Fill ``length`` bytes at ``addr`` with a constant byte."""
         self._check_range(addr, length)
         self._data[addr : addr + length] = bytes([value]) * length
+        self._touch(addr, length)
         if self.sanitizer is not None:
             self.sanitizer.on_fill(addr, length)
 
@@ -108,6 +134,7 @@ class PhysicalMemory:
             )
         base = self.frame_base(frame)
         self._data[base : base + len(data)] = data
+        self._frame_gen[frame] += 1
         if self.sanitizer is not None:
             self.sanitizer.on_write(base, bytes(data))
 
@@ -115,6 +142,7 @@ class PhysicalMemory:
         """Zero one frame — the simulated ``clear_highpage()``."""
         base = self.frame_base(frame)
         self._data[base : base + self.page_size] = b"\x00" * self.page_size
+        self._frame_gen[frame] += 1
         if self.sanitizer is not None:
             self.sanitizer.on_clear_frame(frame)
 
@@ -123,6 +151,7 @@ class PhysicalMemory:
         src = self.frame_base(src_frame)
         dst = self.frame_base(dst_frame)
         self._data[dst : dst + self.page_size] = self._data[src : src + self.page_size]
+        self._frame_gen[dst_frame] += 1
         if self.sanitizer is not None:
             self.sanitizer.on_copy_frame(src_frame, dst_frame)
 
@@ -140,16 +169,7 @@ class PhysicalMemory:
         Overlapping occurrences are reported (the kernel module's linear
         scan would also re-match at every byte offset).
         """
-        if not pattern:
-            raise ValueError("empty search pattern")
-        if end is None:
-            end = self.size
-        hits: List[int] = []
-        pos = self._data.find(pattern, start, end)
-        while pos != -1:
-            hits.append(pos)
-            pos = self._data.find(pattern, pos + 1, end)
-        return hits
+        return find_all_occurrences(self._data, pattern, start, end)
 
     def iter_frames(self) -> Iterator[Tuple[int, bytes]]:
         """Yield ``(frame_number, content)`` for every frame."""

@@ -1,0 +1,175 @@
+"""The deterministic parallel sweep engine.
+
+Covers the two driver bugs this engine fixes (seed collisions across
+repetitions/cells, phantom results from lost workers) and the core
+guarantee: a sweep's cells are byte-identical at any worker count.
+"""
+
+import pytest
+
+from repro.analysis import parallel
+from repro.analysis.experiments import (
+    ext2_attack_sweep,
+    mitigation_comparison,
+    ntty_attack_sweep,
+)
+from repro.analysis.parallel import (
+    FailedRun,
+    RunSpec,
+    derive_seed,
+    ext2_sweep_specs,
+    merge_ntty,
+    ntty_sweep_specs,
+    run_specs,
+)
+from repro.core.protection import ProtectionLevel
+
+
+class TestSeedDerivation:
+    def test_old_collision_grid_gets_distinct_seeds(self):
+        """Regression: ``seed + 1000*rep + conns + dirs`` ran the same
+        machine for rep=0/dirs=2000 and rep=1/dirs=1000.  The spec-hash
+        derivation must give every repetition its own seed."""
+        specs = ext2_sweep_specs(
+            "openssh", connections=(10,), directories=(1000, 2000),
+            repetitions=3, level=ProtectionLevel.NONE, seed=0,
+            memory_mb=8, key_bits=256,
+        )
+        seeds = [derive_seed(spec) for spec in specs]
+        assert len(set(seeds)) == len(specs)
+
+    def test_no_aliasing_across_cells(self):
+        """conns+dirs aliasing: (100, 1000) vs (1000, 100) etc. must
+        not share machines anywhere on a paper-scale grid."""
+        specs = ext2_sweep_specs(
+            "openssh", connections=tuple(range(50, 501, 50)),
+            directories=tuple(range(1000, 10001, 1000)),
+            repetitions=15, level=ProtectionLevel.NONE, seed=0,
+            memory_mb=16, key_bits=1024,
+        )
+        seeds = {derive_seed(spec) for spec in specs}
+        assert len(seeds) == len(specs)  # 10 * 10 * 15 distinct machines
+
+    def test_ntty_repetitions_distinct(self):
+        specs = ntty_sweep_specs(
+            "apache", connections=(0, 10, 20), repetitions=20,
+            level=ProtectionLevel.NONE, seed=3, memory_mb=8, key_bits=256,
+        )
+        seeds = [derive_seed(spec) for spec in specs]
+        assert len(set(seeds)) == len(specs)
+
+    def test_seed_depends_on_every_field(self):
+        base = RunSpec("ntty", "openssh", "none", 10, 0, 0, 0, 8, 256)
+        variants = [
+            RunSpec("ext2", "openssh", "none", 10, 0, 0, 0, 8, 256),
+            RunSpec("ntty", "apache", "none", 10, 0, 0, 0, 8, 256),
+            RunSpec("ntty", "openssh", "kernel", 10, 0, 0, 0, 8, 256),
+            RunSpec("ntty", "openssh", "none", 11, 0, 0, 0, 8, 256),
+            RunSpec("ntty", "openssh", "none", 10, 1, 0, 0, 8, 256),
+            RunSpec("ntty", "openssh", "none", 10, 0, 1, 0, 8, 256),
+            RunSpec("ntty", "openssh", "none", 10, 0, 0, 1, 8, 256),
+        ]
+        seeds = {derive_seed(spec) for spec in [base] + variants}
+        assert len(seeds) == len(variants) + 1
+
+    def test_derivation_is_stable(self):
+        """The hash is part of the experiment contract: changing it
+        silently re-rolls every recorded sweep."""
+        spec = RunSpec("ntty", "openssh", "none", 10, 0, 2, 42, 16, 1024)
+        assert derive_seed(spec) == derive_seed(spec)
+        assert derive_seed(spec) < 2 ** 64
+
+
+class TestParallelSerialIdentity:
+    def test_ntty_sweep_identical_at_any_worker_count(self):
+        kwargs = dict(
+            connections=(0, 10), repetitions=3,
+            key_bits=256, memory_mb=8, seed=11,
+        )
+        serial = ntty_attack_sweep("openssh", **kwargs, workers=1)
+        pooled = ntty_attack_sweep("openssh", **kwargs, workers=2)
+        assert serial.cells == pooled.cells
+        assert not serial.failures and not pooled.failures
+
+    def test_ext2_sweep_identical_at_any_worker_count(self):
+        kwargs = dict(
+            connections=(10,), directories=(200, 600), repetitions=2,
+            key_bits=256, memory_mb=8, seed=11,
+        )
+        serial = ext2_attack_sweep("openssh", **kwargs, workers=1)
+        pooled = ext2_attack_sweep("openssh", **kwargs, workers=3)
+        assert serial.cells == pooled.cells
+
+    def test_mitigation_comparison_through_pool(self):
+        base_s, mit_s = mitigation_comparison(
+            "openssh", connections=(10,), repetitions=3,
+            key_bits=256, memory_mb=8, seed=5, workers=1,
+        )
+        base_p, mit_p = mitigation_comparison(
+            "openssh", connections=(10,), repetitions=3,
+            key_bits=256, memory_mb=8, seed=5, workers=2,
+        )
+        assert base_s.cells == base_p.cells
+        assert mit_s.cells == mit_p.cells
+        assert base_s.cells[10].avg_copies > mit_s.cells[10].avg_copies
+
+
+class TestFailureContainment:
+    def _bad_spec(self):
+        return RunSpec("ntty", "nosuchserver", "none", 1, 0, 0, 0, 8, 256)
+
+    def _good_spec(self):
+        return RunSpec("ntty", "openssh", "none", 1, 0, 0, 0, 8, 256)
+
+    def test_serial_records_failure_and_continues(self):
+        outcomes, failures = run_specs(
+            [self._good_spec(), self._bad_spec(), self._good_spec()],
+            workers=1,
+        )
+        assert outcomes[0] is not None and outcomes[2] is not None
+        assert outcomes[1] is None
+        assert len(failures) == 1
+        assert failures[0].spec.server == "nosuchserver"
+        assert "WorkloadError" in failures[0].error
+
+    def test_pool_records_failure_and_continues(self):
+        outcomes, failures = run_specs(
+            [self._good_spec(), self._bad_spec(), self._good_spec()],
+            workers=2, chunksize=1,
+        )
+        assert outcomes[0] is not None and outcomes[2] is not None
+        assert outcomes[1] is None
+        assert len(failures) == 1
+
+    def test_failed_reps_shrink_cell_samples(self):
+        """A cell whose rep crashed averages over the survivors."""
+        good = self._good_spec()
+        outcome = parallel.execute_spec(good)
+        result = merge_ntty(
+            "openssh", ProtectionLevel.NONE,
+            [outcome, None], [FailedRun(self._bad_spec(), "boom")],
+        )
+        assert result.cells[1].samples == 1
+        assert len(result.failures) == 1
+
+    def test_unknown_kind_rejected(self):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            parallel.execute_spec(
+                RunSpec("warp", "openssh", "none", 1, 0, 0, 0, 8, 256)
+            )
+
+
+class TestPerfSpecs:
+    def test_scp_spec_roundtrip(self):
+        spec = parallel.perf_spec(
+            "scp", ProtectionLevel.NONE, transactions=10, concurrent=4,
+            seed=0, memory_mb=8, key_bits=256,
+        )
+        outcome = parallel.execute_spec(spec)
+        metrics = parallel.merge_perf(outcome)
+        assert metrics.transactions == 10
+        assert metrics.concurrent == 4
+        assert metrics.elapsed_s > 0
+        assert metrics.bytes_moved == outcome.bytes_moved

@@ -1,0 +1,162 @@
+"""Incremental scanning: cached per-frame hits must be undetectable.
+
+The contract: ``scan(incremental=True)`` after any sequence of RAM
+mutations reports *exactly* what a fresh full pass reports, while only
+re-searching the frames whose generation counters moved.  Verified
+three ways: against a fresh full-copy scan, against the KeySan taint
+oracle, and by bounding the re-scanned byte count.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.scanner import MemoryScanner
+from repro.core.protection import ProtectionLevel
+from repro.core.simulation import Simulation, SimulationConfig
+
+#: A workload/mutation schedule: server ops plus direct RAM writes
+#: into free frames (stale-copy planting) and frame wipes.
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("cycle"), st.integers(1, 4)),
+        st.tuples(st.just("hold"), st.integers(1, 4)),
+        st.tuples(st.just("plant"), st.integers(0, 2 ** 30)),
+        st.tuples(st.just("wipe"), st.integers(0, 2 ** 30)),
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+def _free_frame(sim, token):
+    """Pick a currently-free frame, deterministically from ``token``."""
+    physmem = sim.kernel.physmem
+    free = [
+        frame for frame in range(physmem.num_frames)
+        if not sim.kernel.page(frame).allocated
+    ]
+    return free[token % len(free)] if free else None
+
+
+def _apply(sim, op, arg):
+    physmem = sim.kernel.physmem
+    if op == "cycle":
+        sim.cycle_connections(arg)
+    elif op == "hold":
+        sim.hold_connections(arg)
+    elif op == "plant":
+        frame = _free_frame(sim, arg)
+        if frame is not None:
+            names = sorted(sim.patterns.patterns)
+            pattern = sim.patterns.patterns[names[arg % len(names)]]
+            offset = arg % (physmem.page_size - len(pattern))
+            physmem.write(physmem.frame_base(frame) + offset, pattern)
+    elif op == "wipe":
+        frame = _free_frame(sim, arg)
+        if frame is not None:
+            physmem.clear_frame(frame)
+
+
+def _signature(report):
+    return [
+        (m.pattern, m.address, m.matched_bytes, m.full, m.region,
+         tuple(m.owners))
+        for m in report.matches
+    ]
+
+
+@settings(
+    max_examples=5,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=st.integers(0, 2 ** 16), schedule=_OPS)
+def test_incremental_equals_full_equals_oracle(seed, schedule):
+    """incremental scan == fresh full scan == KeySan full-copy counts,
+    across random write/free/scan schedules."""
+    sim = Simulation(
+        SimulationConfig(
+            taint=True, memory_mb=8, key_bits=256, seed=seed,
+        )
+    )
+    sim.start_server()
+    sim.scan()  # prime the incremental cache
+    for op, arg in schedule:
+        _apply(sim, op, arg)
+        incremental = sim.scan(incremental=True)
+        full = MemoryScanner(sim.kernel, sim.patterns).scan()
+        assert _signature(incremental) == _signature(full)
+
+    check = sim.taint_report().cross_check(sim.scan(incremental=True))
+    assert check.consistent, "\n" + check.render()
+
+
+@pytest.mark.parametrize("level", [ProtectionLevel.NONE, ProtectionLevel.INTEGRATED])
+def test_rescan_work_proportional_to_touched_frames(level):
+    """Touching k frames re-searches ~k pages, not all of RAM."""
+    sim = Simulation(
+        SimulationConfig(level=level, memory_mb=8, key_bits=256, seed=9)
+    )
+    sim.start_server()
+    sim.cycle_connections(4)
+    physmem = sim.kernel.physmem
+
+    full = sim.scan()
+    assert full.scanned_bytes == physmem.size
+
+    untouched = sim.scan(incremental=True)
+    assert untouched.scanned_bytes == 0
+    assert _signature(untouched) == _signature(full)
+
+    touched = 3
+    free = [
+        frame for frame in range(physmem.num_frames)
+        if not sim.kernel.page(frame).allocated
+    ][:touched]
+    for frame in free:
+        physmem.write(physmem.frame_base(frame), b"\xa5" * 64)
+
+    incremental = sim.scan(incremental=True)
+    # One page plus the boundary margin per touched frame, far from a
+    # full pass.
+    per_frame_bound = physmem.page_size + 64
+    assert 0 < incremental.scanned_bytes <= touched * per_frame_bound
+    assert incremental.scanned_bytes < physmem.size // 100
+
+    fresh = MemoryScanner(sim.kernel, sim.patterns).scan()
+    assert _signature(incremental) == _signature(fresh)
+
+
+def test_incremental_charges_time_for_rescanned_bytes_only():
+    """The simulated clock charge shrinks with the re-scan size."""
+    sim = Simulation(SimulationConfig(memory_mb=8, key_bits=256, seed=2))
+    sim.start_server()
+    clock = sim.kernel.clock
+
+    before_full = clock.now_us
+    sim.scan()
+    full_charge = clock.now_us - before_full
+
+    before_inc = clock.now_us
+    sim.scan(incremental=True)
+    idle_charge = clock.now_us - before_inc
+
+    assert idle_charge == 0
+    assert full_charge > 0
+
+
+def test_timeline_identical_with_incremental_scans():
+    """The 29-step driver produces the same counts either way."""
+    from repro.analysis.timeline import run_timeline
+
+    kwargs = dict(
+        server="openssh", level=ProtectionLevel.NONE,
+        seed=4, memory_mb=8, key_bits=256, cycles_per_slot=1,
+    )
+    full = run_timeline(**kwargs)
+    incremental = run_timeline(**kwargs, incremental_scan=True)
+    for a, b in zip(full.steps, incremental.steps):
+        assert (a.allocated, a.unallocated) == (b.allocated, b.unallocated)
+        assert a.locations == b.locations

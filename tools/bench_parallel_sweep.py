@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Benchmark the parallel sweep engine against the serial path.
+
+Runs the quick-scale OpenSSH n_tty sweep twice — ``workers=1`` and
+``workers=N`` (default 4) — asserts the cells are byte-identical, and
+records both wall clocks in ``benchmarks/results/BENCH_parallel_sweep.json``.
+
+The identity assertion always holds (it is the engine's core
+guarantee).  The speedup assertion is hardware-gated: a ≥ 2× win at 4
+workers needs ≥ 4 usable cores, so on smaller boxes the measured ratio
+is recorded with ``"speedup_asserted": false`` instead of failing.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_parallel_sweep.py [--workers 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.experiments import (  # noqa: E402
+    QUICK_NTTY_CONNECTIONS,
+    QUICK_REPETITIONS,
+    ntty_attack_sweep,
+)
+
+RESULTS = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--memory-mb", type=int, default=32)
+    parser.add_argument("--key-bits", type=int, default=1024)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    kwargs = dict(
+        connections=QUICK_NTTY_CONNECTIONS,
+        repetitions=QUICK_REPETITIONS,
+        seed=args.seed,
+        memory_mb=args.memory_mb,
+        key_bits=args.key_bits,
+    )
+
+    started = time.monotonic()
+    serial = ntty_attack_sweep("openssh", **kwargs, workers=1)
+    serial_s = time.monotonic() - started
+
+    started = time.monotonic()
+    pooled = ntty_attack_sweep("openssh", **kwargs, workers=args.workers)
+    pooled_s = time.monotonic() - started
+
+    assert serial.cells == pooled.cells, (
+        "parallel sweep diverged from serial — seed derivation broken"
+    )
+    assert not serial.failures and not pooled.failures
+
+    cores = os.cpu_count() or 1
+    speedup = serial_s / pooled_s if pooled_s else 0.0
+    assert_speedup = cores >= args.workers
+    if assert_speedup:
+        assert speedup >= 2.0, (
+            f"expected >= 2x at {args.workers} workers on {cores} cores, "
+            f"got {speedup:.2f}x"
+        )
+
+    payload = {
+        "bench": "parallel_sweep_ntty_quick",
+        "grid": {
+            "connections": list(QUICK_NTTY_CONNECTIONS),
+            "repetitions": QUICK_REPETITIONS,
+            "memory_mb": args.memory_mb,
+            "key_bits": args.key_bits,
+            "seed": args.seed,
+        },
+        "runs": len(QUICK_NTTY_CONNECTIONS) * QUICK_REPETITIONS,
+        "cpu_count": cores,
+        "workers": args.workers,
+        "serial_wall_s": round(serial_s, 3),
+        "parallel_wall_s": round(pooled_s, 3),
+        "speedup": round(speedup, 3),
+        "cells_identical": True,
+        "speedup_asserted": assert_speedup,
+        "note": (
+            "speedup >= 2x is asserted only when cpu_count >= workers; "
+            "cells are asserted byte-identical unconditionally"
+        ),
+    }
+    RESULTS.mkdir(exist_ok=True)
+    out = RESULTS / "BENCH_parallel_sweep.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    print(f"-> {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

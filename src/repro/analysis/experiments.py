@@ -99,6 +99,7 @@ def ext2_attack_sweep(
     workers: int = 1,
     timeout_s: Optional[float] = None,
     progress=None,
+    retries: int = 0,
 ) -> Ext2SweepResult:
     """Reproduce Figure 1 (openssh) / Figure 2 (apache), or their
     §5.2/§6.2 mitigated re-runs at another protection level."""
@@ -110,6 +111,7 @@ def ext2_attack_sweep(
     )
     outcomes, failures = parallel.run_specs(
         specs, workers=workers, timeout_s=timeout_s, progress=progress,
+        retries=retries,
     )
     return parallel.merge_ext2(server, level, outcomes, failures)
 
@@ -125,6 +127,7 @@ def ntty_attack_sweep(
     workers: int = 1,
     timeout_s: Optional[float] = None,
     progress=None,
+    retries: int = 0,
 ) -> NttySweepResult:
     """Reproduce Figure 3 (openssh) / Figure 4 (apache), or the
     mitigated series of Figures 7, 17 and 18."""
@@ -135,6 +138,7 @@ def ntty_attack_sweep(
     )
     outcomes, failures = parallel.run_specs(
         specs, workers=workers, timeout_s=timeout_s, progress=progress,
+        retries=retries,
     )
     return parallel.merge_ntty(server, level, outcomes, failures)
 
@@ -150,6 +154,7 @@ def mitigation_comparison(
     workers: int = 1,
     timeout_s: Optional[float] = None,
     progress=None,
+    retries: int = 0,
 ) -> Tuple[NttySweepResult, NttySweepResult]:
     """Before/after n_tty sweeps (Figures 7a+7b, 17, 18).
 
@@ -170,6 +175,7 @@ def mitigation_comparison(
     outcomes, failures = parallel.run_specs(
         base_specs + mit_specs,
         workers=workers, timeout_s=timeout_s, progress=progress,
+        retries=retries,
     )
     split = len(base_specs)
     base_level = ProtectionLevel.NONE.value

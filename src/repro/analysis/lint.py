@@ -26,6 +26,14 @@ from §4 of the paper:
     paired with an ``mlock`` in the same function can be swapped out —
     the exact hole ``RSA_memory_align()`` exists to close.
 
+``swallowed-error``
+    A bare ``except:`` anywhere, or an ``except <ReproError type>:``
+    whose body does nothing (``pass`` or a lone constant/docstring).
+    Silently swallowing a simulator error is how a fault turns into a
+    missed scrub: the code path that should have cleaned up key state
+    never learns it failed.  Handlers must at least record the failure
+    (a counter, a log entry) or re-raise.
+
 Every rule honours a ``# keylint: ignore[rule]`` comment on the
 flagged line (``ignore[*]`` silences all rules for that line); use it
 where a violation is deliberate, e.g. in negative-path tests.
@@ -49,6 +57,7 @@ RULE_NAMES = (
     "raw-secret-bytes",
     "snapshot-scope",
     "memalign-mlock",
+    "swallowed-error",
 )
 
 #: Identifier tokens that mark a value as key material.  An argument
@@ -82,6 +91,47 @@ RAW_BYTES_ALLOWED = ("attacks/", "sanitizer/", "analysis/", "core/simulation.py"
 MEMALIGN_DEFINERS = frozenset({"memalign", "posix_memalign"})
 
 _IGNORE_RE = re.compile(r"#\s*keylint:\s*ignore\[([\w*,\s-]+)\]")
+
+
+def _repro_error_names() -> frozenset:
+    """Every exception class name in the simulator hierarchy."""
+    import repro.errors as errors_module
+
+    return frozenset(
+        name
+        for name, obj in vars(errors_module).items()
+        if isinstance(obj, type) and issubclass(obj, errors_module.ReproError)
+    )
+
+
+#: Names the swallowed-error rule watches in ``except`` clauses.
+REPRO_ERROR_NAMES = _repro_error_names()
+
+
+def _handler_exception_names(node: ast.ExceptHandler) -> Set[str]:
+    """Exception class names an ``except`` clause catches."""
+    if node.type is None:
+        return set()
+    exprs = node.type.elts if isinstance(node.type, ast.Tuple) else [node.type]
+    names: Set[str] = set()
+    for expr in exprs:
+        if isinstance(expr, ast.Name):
+            names.add(expr.id)
+        elif isinstance(expr, ast.Attribute):
+            names.add(expr.attr)
+    return names
+
+
+def _is_silent_body(body: Sequence[ast.stmt]) -> bool:
+    """True when a handler body does nothing observable: only ``pass``
+    and bare constants (docstrings, ``...``)."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue
+        return False
+    return True
 
 
 @dataclass(frozen=True)
@@ -246,6 +296,29 @@ class _FileLinter(ast.NodeVisitor):
                     f"{', '.join(p + '()' for p in producers)}; key material "
                     f"must live in simulated memory, not on Python objects",
                 )
+
+    # ------------------------------------------------------------------
+    # exception handlers: swallowed-error
+    # ------------------------------------------------------------------
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._flag(
+                node,
+                "swallowed-error",
+                "bare except: catches (and usually discards) every "
+                "simulator fault; name the exceptions and handle them",
+            )
+        else:
+            caught = sorted(_handler_exception_names(node) & REPRO_ERROR_NAMES)
+            if caught and _is_silent_body(node.body):
+                self._flag(
+                    node,
+                    "swallowed-error",
+                    f"except {', '.join(caught)} with a do-nothing body "
+                    f"silently swallows a simulator fault; record it "
+                    f"(counter, log) or re-raise",
+                )
+        self.generic_visit(node)
 
     def visit_Assign(self, node: ast.Assign) -> None:
         self._check_retention(node.targets, node.value)

@@ -85,10 +85,22 @@ class RunOutcome:
 
 @dataclass
 class FailedRun:
-    """A spec that crashed, timed out, or was lost with its worker."""
+    """A spec that crashed, timed out, or was lost with its worker.
+
+    ``attempts`` counts executions including retries; ``backoff_s`` is
+    the total *simulated* backoff charged before giving up (recorded
+    for the report, never slept — sleeping would make sweep wall-clock
+    depend on the retry schedule).
+    """
 
     spec: RunSpec
     error: str
+    attempts: int = 1
+    backoff_s: float = 0.0
+
+
+#: First retry waits this long (simulated), doubling per attempt.
+RETRY_BACKOFF_BASE_S = 0.05
 
 
 def derive_seed(spec: RunSpec) -> int:
@@ -223,12 +235,15 @@ def execute_spec(spec: RunSpec) -> RunOutcome:
     )
 
 
-def _run_chunk(indexed: List[Tuple[int, RunSpec]]) -> List[Tuple[int, object]]:
+def _run_chunk(
+    indexed: List[Tuple[int, RunSpec]],
+    runner: Callable[[RunSpec], RunOutcome] = execute_spec,
+) -> List[Tuple[int, object]]:
     """Worker entry point: run a chunk, never raise past one spec."""
     results: List[Tuple[int, object]] = []
     for index, spec in indexed:
         try:
-            results.append((index, execute_spec(spec)))
+            results.append((index, runner(spec)))
         except Exception as exc:  # recorded, not fatal to the chunk
             results.append((index, f"{type(exc).__name__}: {exc}"))
     return results
@@ -256,6 +271,8 @@ def run_specs(
     timeout_s: Optional[float] = None,
     chunksize: Optional[int] = None,
     progress: Optional[ProgressFn] = None,
+    retries: int = 0,
+    runner: Callable[[RunSpec], RunOutcome] = execute_spec,
 ) -> Tuple[List[Optional[RunOutcome]], List[FailedRun]]:
     """Execute every spec; return (outcomes by spec index, failures).
 
@@ -265,12 +282,22 @@ def run_specs(
     (``"timeout"``) instead of blocking forever on a wedged worker.
     Results are merged by spec index, so the outcome (and any result
     built from it) is identical for every ``workers`` value.
+
+    ``retries`` re-runs failed specs up to that many extra times with
+    exponential backoff (:data:`RETRY_BACKOFF_BASE_S`, doubling per
+    attempt — *simulated*: recorded in the FailedRun, never slept).
+    A spec's seed depends only on the spec, so a retried run that
+    succeeds is byte-identical to a first-try success.  Retries share
+    the sweep's global deadline; specs still failing after the last
+    retry are reported with their attempt count.  ``runner`` replaces
+    :func:`execute_spec` (tests inject flaky runners with it).
     """
     total = len(specs)
     outcomes: List[Optional[RunOutcome]] = [None] * total
-    failures: List[FailedRun] = []
     if not total:
-        return outcomes, failures
+        return outcomes, []
+    if retries < 0:
+        raise ValueError("retries must be non-negative")
     started = time.monotonic()
     deadline = started + timeout_s if timeout_s is not None else None
 
@@ -281,51 +308,76 @@ def run_specs(
         eta = elapsed / done * (total - done)
         progress(done, total, elapsed, eta)
 
-    if workers <= 1:
-        for index, spec in enumerate(specs):
-            if deadline is not None and time.monotonic() > deadline:
-                failures.append(FailedRun(spec, "timeout"))
-                continue
-            for slot, result in _run_chunk([(index, spec)]):
-                if isinstance(result, RunOutcome):
-                    outcomes[slot] = result
-                else:
-                    failures.append(FailedRun(specs[slot], str(result)))
-            _tick(index + 1)
-        return outcomes, failures
-
-    if chunksize is None:
-        chunksize = max(1, total // (workers * 4))
-    indexed = list(enumerate(specs))
-    chunks = [
-        indexed[start : start + chunksize]
-        for start in range(0, total, chunksize)
-    ]
-    done = 0
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [(pool.submit(_run_chunk, chunk), chunk) for chunk in chunks]
-        for future, chunk in futures:
-            remaining = None
-            if deadline is not None:
-                remaining = max(0.0, deadline - time.monotonic())
-            try:
-                for slot, result in future.result(timeout=remaining):
+    def _one_pass(
+        indexed: List[Tuple[int, RunSpec]], report_progress: bool
+    ) -> Dict[int, str]:
+        """Run one attempt over ``indexed``; fill ``outcomes``, return
+        the error string for every index that did not produce one."""
+        errors: Dict[int, str] = {}
+        if workers <= 1:
+            for done, (index, spec) in enumerate(indexed, start=1):
+                if deadline is not None and time.monotonic() > deadline:
+                    errors[index] = "timeout"
+                    continue
+                for slot, result in _run_chunk([(index, spec)], runner):
                     if isinstance(result, RunOutcome):
                         outcomes[slot] = result
                     else:
-                        failures.append(FailedRun(specs[slot], str(result)))
-            except FutureTimeout:
-                future.cancel()
-                failures.extend(
-                    FailedRun(spec, "timeout") for _, spec in chunk
-                )
-            except Exception as exc:  # worker died (BrokenProcessPool, ...)
-                failures.extend(
-                    FailedRun(spec, f"worker crashed: {type(exc).__name__}")
-                    for _, spec in chunk
-                )
-            done += len(chunk)
-            _tick(done)
+                        errors[slot] = str(result)
+                if report_progress:
+                    _tick(done)
+            return errors
+
+        size = chunksize
+        if size is None:
+            size = max(1, len(indexed) // (workers * 4))
+        chunks = [
+            indexed[start : start + size]
+            for start in range(0, len(indexed), size)
+        ]
+        done = 0
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                (pool.submit(_run_chunk, chunk, runner), chunk)
+                for chunk in chunks
+            ]
+            for future, chunk in futures:
+                remaining = None
+                if deadline is not None:
+                    remaining = max(0.0, deadline - time.monotonic())
+                try:
+                    for slot, result in future.result(timeout=remaining):
+                        if isinstance(result, RunOutcome):
+                            outcomes[slot] = result
+                        else:
+                            errors[slot] = str(result)
+                except FutureTimeout:
+                    future.cancel()
+                    for index, _spec in chunk:
+                        errors[index] = "timeout"
+                except Exception as exc:  # worker died (BrokenProcessPool, ...)
+                    for index, _spec in chunk:
+                        errors[index] = f"worker crashed: {type(exc).__name__}"
+                done += len(chunk)
+                if report_progress:
+                    _tick(done)
+        return errors
+
+    errors = _one_pass(list(enumerate(specs)), report_progress=True)
+    attempts = 1
+    backoff_s = 0.0
+    for attempt in range(1, retries + 1):
+        if not errors:
+            break
+        backoff_s += RETRY_BACKOFF_BASE_S * (2 ** (attempt - 1))
+        retry_indexed = [(index, specs[index]) for index in sorted(errors)]
+        errors = _one_pass(retry_indexed, report_progress=False)
+        attempts += 1
+    failures = [
+        FailedRun(specs[index], errors[index],
+                  attempts=attempts, backoff_s=backoff_s)
+        for index in sorted(errors)
+    ]
     return outcomes, failures
 
 

@@ -23,7 +23,7 @@ from typing import TYPE_CHECKING, List, Optional
 from repro.core.memory_align import rsa_memory_align
 from repro.core.protection import ProtectionLevel, ProtectionPolicy, policy_for
 from repro.crypto.randsrc import DeterministicRandom
-from repro.errors import WorkloadError
+from repro.errors import ConnectionRejectedError, ReproError, WorkloadError
 from repro.ssl.d2i import d2i_privatekey
 from repro.ssl.engine import rsa_private_operation
 from repro.ssl.rsa_st import RsaStruct
@@ -101,6 +101,13 @@ class ApacheServer:
         self.workers: List[ApacheWorker] = []
         self.total_requests = 0
         self._next_worker = 0
+        #: Requests failed by a fault; the worker was recycled.
+        self.rejected_requests = 0
+        #: Worker spawns that faulted (the pool runs smaller until the
+        #: next successful spawn — prefork's own degradation mode).
+        self.spawn_failures = 0
+        #: Rejection paths whose own cleanup faulted.
+        self.cleanup_failures = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -113,25 +120,36 @@ class ApacheServer:
         """/etc/init.d/apache2 start"""
         if self.running:
             raise WorkloadError("apache is already running")
-        self.master = self.kernel.create_process("apache2")
-        policy = self.config.policy
-        # mod_ssl's ssl_server_import_key path.
-        self.master_rsa = d2i_privatekey(
-            self.master,
-            self.config.key_path,
-            align=policy.lib_align,
-            use_nocache=policy.o_nocache,
-            scrub_buffers=policy.align_on_load,
-        )
-        if policy.app_align:
-            # The paper adds RSA_memory_align() to mod_ssl directly.
-            rsa_memory_align(self.master_rsa)
-        if policy.hw_vault:
-            from repro.core.hardware import offload_to_vault
+        try:
+            self.master = self.kernel.create_process("apache2")
+            policy = self.config.policy
+            # mod_ssl's ssl_server_import_key path.
+            self.master_rsa = d2i_privatekey(
+                self.master,
+                self.config.key_path,
+                align=policy.lib_align,
+                use_nocache=policy.o_nocache,
+                scrub_buffers=policy.align_on_load,
+            )
+            if policy.app_align:
+                # The paper adds RSA_memory_align() to mod_ssl directly.
+                rsa_memory_align(self.master_rsa)
+            if policy.hw_vault:
+                from repro.core.hardware import offload_to_vault
 
-            offload_to_vault(self.master_rsa)
+                offload_to_vault(self.master_rsa)
+        except ReproError:
+            # A faulted startup unwinds completely; the error propagates
+            # so the operator can retry.
+            if self.master is not None and self.master.alive:
+                self.kernel.exit_process(self.master)
+            self.master = None
+            self.master_rsa = None
+            raise
         for _ in range(self.config.start_servers):
-            self._spawn_worker()
+            # A fault here just starts the pool smaller; ensure_pool
+            # and the recycle path regrow it.
+            self._spawn_worker_best_effort()
 
     def stop(self, graceful: bool = True) -> None:
         """/etc/init.d/apache2 stop.
@@ -154,16 +172,32 @@ class ApacheServer:
     # ------------------------------------------------------------------
     def _spawn_worker(self) -> ApacheWorker:
         assert self.master is not None and self.master_rsa is not None
-        child = self.kernel.fork(self.master)
-        # Per-worker SSL/connection buffer pool, resident immediately.
-        pool_bytes = self.rng.choice(_WORKER_POOL_CHOICES)
-        pool = child.heap.malloc(pool_bytes)
-        page_size = self.kernel.physmem.page_size
-        for offset in range(0, pool_bytes, page_size):
-            child.mm.write(pool + offset, self.rng.randbytes(32))
-        worker = ApacheWorker(child, self.master_rsa.view_in(child))
+        try:
+            child = self.kernel.fork(self.master)
+        except ReproError as exc:
+            # kernel.fork already unwound the half-built child.
+            raise ConnectionRejectedError(f"worker fork failed: {exc}") from exc
+        try:
+            # Per-worker SSL/connection buffer pool, resident immediately.
+            pool_bytes = self.rng.choice(_WORKER_POOL_CHOICES)
+            pool = child.heap.malloc(pool_bytes)
+            page_size = self.kernel.physmem.page_size
+            for offset in range(0, pool_bytes, page_size):
+                child.mm.write(pool + offset, self.rng.randbytes(32))
+            worker = ApacheWorker(child, self.master_rsa.view_in(child))
+        except ReproError as exc:
+            if child.alive:
+                self.kernel.exit_process(child)
+            raise ConnectionRejectedError(f"worker setup failed: {exc}") from exc
         self.workers.append(worker)
         return worker
+
+    def _spawn_worker_best_effort(self) -> Optional[ApacheWorker]:
+        try:
+            return self._spawn_worker()
+        except ConnectionRejectedError:
+            self.spawn_failures += 1
+            return None
 
     def _reap_worker(self, worker: ApacheWorker) -> None:
         if worker.process.alive:
@@ -197,8 +231,23 @@ class ApacheServer:
             self.ensure_pool(1)
         worker = self.workers[self._next_worker % len(self.workers)]
         self._next_worker += 1
-        self._tls_handshake(worker)
-        self._send_response(worker, response_bytes)
+        faults = self.kernel.faults
+        if faults is not None and faults.tick("app.kill"):
+            # SIGKILL mid-request: no mod_ssl cleanup runs; only the
+            # kernel's unmap/free clearing protects the dead worker's
+            # Montgomery cache pages.
+            self.rejected_requests += 1
+            self._reap_worker(worker)
+            self._spawn_worker_best_effort()
+            raise ConnectionRejectedError(
+                f"worker pid {worker.process.pid} killed mid-request"
+            )
+        try:
+            self._tls_handshake(worker)
+            self._send_response(worker, response_bytes)
+        except ReproError as exc:
+            self._reject_request(worker)
+            raise ConnectionRejectedError(f"request failed: {exc}") from exc
         worker.requests_served += 1
         self.total_requests += 1
         if (
@@ -207,8 +256,20 @@ class ApacheServer:
         ):
             # MaxRequestsPerChild reached: recycle the worker.
             self._reap_worker(worker)
-            self._spawn_worker()
+            self._spawn_worker_best_effort()
         return worker
+
+    def _reject_request(self, worker: ApacheWorker) -> None:
+        """mod_ssl's fatal-request path: scrub the worker's own key
+        state (its Montgomery cache — the BIGNUMs belong to the
+        master), recycle it, and try to keep the pool at strength."""
+        self.rejected_requests += 1
+        try:
+            worker.rsa.drop_mont(clear=True)
+        except ReproError:
+            self.cleanup_failures += 1
+        self._reap_worker(worker)
+        self._spawn_worker_best_effort()
 
     def _tls_handshake(self, worker: ApacheWorker) -> None:
         rsa = worker.rsa

@@ -25,7 +25,7 @@ from typing import TYPE_CHECKING, List, Optional
 from repro.core.memory_align import rsa_memory_align
 from repro.core.protection import ProtectionLevel, ProtectionPolicy, policy_for
 from repro.crypto.randsrc import DeterministicRandom
-from repro.errors import WorkloadError
+from repro.errors import ConnectionRejectedError, ReproError, WorkloadError
 from repro.ssl.d2i import d2i_privatekey
 from repro.ssl.engine import rsa_private_operation
 from repro.ssl.rsa_st import RsaStruct
@@ -71,11 +71,16 @@ class SshConnection:
         child: "Process",
         rsa: RsaStruct,
         session_buffer: int,
+        owns_key: bool = True,
     ) -> None:
         self.server = server
         self.child = child
         self.rsa = rsa
         self._session_buffer = session_buffer
+        #: True when the child re-exec'ed and owns a full key copy;
+        #: False for -r children, whose RsaStruct is a COW *view* of the
+        #: master's key (freeing it would corrupt the master).
+        self.owns_key = owns_key
         self.closed = False
         self.bytes_transferred = 0
 
@@ -89,15 +94,62 @@ class SshConnection:
         if self.closed:
             raise WorkloadError("transfer on closed connection")
         kernel = self.server.kernel
+        faults = kernel.faults
         remaining = num_bytes
         while remaining > 0:
+            if faults is not None and faults.tick("app.kill"):
+                # SIGKILL mid-transfer: no cleanup handler runs; only
+                # the kernel's unmap/free path decides what the dead
+                # child's pages still disclose.
+                self.abort(scrub=False)
+                raise ConnectionRejectedError(
+                    f"child pid {self.child.pid} killed mid-transfer"
+                )
             chunk = min(remaining, _CHURN_CHUNK)
-            buf = self.child.heap.malloc(chunk)
-            self.child.mm.write(buf, rng.randbytes(min(chunk, 512)))
-            self.child.heap.free(buf, clear=False)
+            try:
+                buf = self.child.heap.malloc(chunk)
+                self.child.mm.write(buf, rng.randbytes(min(chunk, 512)))
+                self.child.heap.free(buf, clear=False)
+            except ReproError as exc:
+                self.abort()
+                raise ConnectionRejectedError(
+                    f"transfer failed: {exc}"
+                ) from exc
             remaining -= chunk
         kernel.clock.charge_transfer(num_bytes)
         self.bytes_transferred += num_bytes
+
+    def abort(self, scrub: bool = True) -> None:
+        """Tear the connection down after a fault.
+
+        ``scrub=True`` is sshd's fatal-error cleanup path: the child
+        scrubs the key state it *owns* (a full re-exec'ed copy is
+        RSA_free'd; a -r view only clears its private Montgomery
+        cache — the underlying BIGNUMs belong to the master) before
+        exiting.  ``scrub=False`` models SIGKILL: no handler runs and
+        only kernel-level clearing stands between the dead child's
+        pages and the free pool.
+        """
+        if self.closed:
+            return
+        if scrub:
+            try:
+                if self.owns_key:
+                    if not self.rsa.freed:
+                        self.rsa.rsa_free()
+                else:
+                    self.rsa.drop_mont(clear=True)
+            except ReproError:
+                # Cleanup itself faulted (e.g. ENOMEM breaking COW for
+                # the scrub write); the kernel backstop is now the only
+                # protection, which the chaos campaign quantifies.
+                self.server.cleanup_failures += 1
+        if self.child.alive:
+            self.server.kernel.exit_process(self.child)
+        self.closed = True
+        if self in self.server.connections:
+            self.server.connections.remove(self)
+        self.server.dropped_connections += 1
 
     def close(self) -> None:
         """Tear the connection down; the child exits (pages uncleared
@@ -126,6 +178,12 @@ class OpenSSHServer:
         self.master_rsa: Optional[RsaStruct] = None
         self.connections: List[SshConnection] = []
         self.total_connections = 0
+        #: Connections refused during setup (fork/exec/key-load fault).
+        self.rejected_connections = 0
+        #: Established connections torn down mid-session by a fault.
+        self.dropped_connections = 0
+        #: Abort paths whose own cleanup faulted (kernel backstop only).
+        self.cleanup_failures = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -135,11 +193,24 @@ class OpenSSHServer:
         return self.master is not None and self.master.alive
 
     def start(self) -> None:
-        """/etc/init.d/sshd start"""
+        """/etc/init.d/sshd start
+
+        A fault during startup (ENOMEM spawning the listener, an I/O
+        error loading the host key) unwinds completely: the master
+        exits, the server stays stopped, and the error propagates so
+        the operator can retry.
+        """
         if self.running:
             raise WorkloadError("sshd is already running")
-        self.master = self.kernel.create_process("sshd")
-        self.master_rsa = self._load_key(self.master)
+        try:
+            self.master = self.kernel.create_process("sshd")
+            self.master_rsa = self._load_key(self.master)
+        except ReproError:
+            if self.master is not None and self.master.alive:
+                self.kernel.exit_process(self.master)
+            self.master = None
+            self.master_rsa = None
+            raise
 
     def _load_key(self, process: "Process") -> RsaStruct:
         policy = self.config.policy
@@ -184,31 +255,76 @@ class OpenSSHServer:
     # connections
     # ------------------------------------------------------------------
     def open_connection(self) -> SshConnection:
-        """Accept one client: fork (+re-exec unless -r), key exchange."""
+        """Accept one client: fork (+re-exec unless -r), key exchange.
+
+        Any fault while setting the connection up rejects *that
+        connection only*: the half-built child scrubs what it owns and
+        exits, and :class:`ConnectionRejectedError` tells the client to
+        try again — the listener keeps serving.
+        """
         if not self.running:
             raise WorkloadError("sshd is not running")
         assert self.master is not None and self.master_rsa is not None
-        child = self.kernel.fork(self.master)
-        if self.config.no_reexec:
-            rsa = self.master_rsa.view_in(child)
-        else:
-            # Stock sshd re-executes itself per connection: fresh
-            # address space, key re-read from the PEM file.
-            self.kernel.exec_replace(child)
-            rsa = self._load_key(child)
+        try:
+            child = self.kernel.fork(self.master)
+        except ReproError as exc:
+            # kernel.fork already unwound the half-built child.
+            self.rejected_connections += 1
+            raise ConnectionRejectedError(f"fork failed: {exc}") from exc
+        owns_key = not self.config.no_reexec
+        rsa: Optional[RsaStruct] = None
+        faults = self.kernel.faults
+        try:
+            if faults is not None and faults.tick("app.kill"):
+                raise ConnectionRejectedError(
+                    f"child pid {child.pid} killed during setup"
+                )
+            if self.config.no_reexec:
+                rsa = self.master_rsa.view_in(child)
+            else:
+                # Stock sshd re-executes itself per connection: fresh
+                # address space, key re-read from the PEM file.
+                self.kernel.exec_replace(child)
+                rsa = self._load_key(child)
 
-        self._key_exchange(child, rsa)
+            self._key_exchange(child, rsa)
 
-        buffer_bytes = self.rng.choice(_SESSION_BUFFER_CHOICES)
-        session_buffer = child.heap.malloc(buffer_bytes)
-        # Touch every page so the buffer is actually resident.
-        page_size = self.kernel.physmem.page_size
-        for offset in range(0, buffer_bytes, page_size):
-            child.mm.write(session_buffer + offset, self.rng.randbytes(32))
-        connection = SshConnection(self, child, rsa, session_buffer)
+            buffer_bytes = self.rng.choice(_SESSION_BUFFER_CHOICES)
+            session_buffer = child.heap.malloc(buffer_bytes)
+            # Touch every page so the buffer is actually resident.
+            page_size = self.kernel.physmem.page_size
+            for offset in range(0, buffer_bytes, page_size):
+                child.mm.write(session_buffer + offset, self.rng.randbytes(32))
+        except ReproError as exc:
+            self._abort_setup(child, rsa, owns_key)
+            self.rejected_connections += 1
+            if isinstance(exc, ConnectionRejectedError):
+                raise
+            raise ConnectionRejectedError(
+                f"connection setup failed: {exc}"
+            ) from exc
+        connection = SshConnection(
+            self, child, rsa, session_buffer, owns_key=owns_key
+        )
         self.connections.append(connection)
         self.total_connections += 1
         return connection
+
+    def _abort_setup(
+        self, child: "Process", rsa: Optional[RsaStruct], owns_key: bool
+    ) -> None:
+        """Unwind a connection that faulted before it was established."""
+        try:
+            if rsa is not None:
+                if owns_key:
+                    if not rsa.freed:
+                        rsa.rsa_free()
+                else:
+                    rsa.drop_mont(clear=True)
+        except ReproError:
+            self.cleanup_failures += 1
+        if child.alive:
+            self.kernel.exit_process(child)
 
     def _key_exchange(self, child: "Process", rsa: RsaStruct) -> None:
         """RSA key exchange: client encrypts a secret to the host key,

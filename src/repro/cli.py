@@ -240,7 +240,12 @@ def _failures_json(failures) -> list:
     import dataclasses
 
     return [
-        {"spec": dataclasses.asdict(failure.spec), "error": failure.error}
+        {
+            "spec": dataclasses.asdict(failure.spec),
+            "error": failure.error,
+            "attempts": failure.attempts,
+            "backoff_s": failure.backoff_s,
+        }
         for failure in failures
     ]
 
@@ -264,7 +269,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     ext2_mb = args.memory_mb or grids["ext2_memory_mb"]
     progress = parallel.stderr_progress(f"sweep:{args.kind}")
     common = dict(workers=args.workers, timeout_s=args.timeout,
-                  progress=progress)
+                  progress=progress, retries=args.retries)
 
     started = time.monotonic()
     payload = {
@@ -330,6 +335,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                        "response_time_s": after.response_time_s},
                 overhead=overhead_ratio(before, after),
             )
+    payload["retries"] = args.retries
     payload["wall_clock_s"] = round(time.monotonic() - started, 3)
     payload["failures"] = _failures_json(failures)
 
@@ -348,6 +354,62 @@ def cmd_sweep(args: argparse.Namespace) -> int:
               f"{payload['wall_clock_s']}s wall clock, "
               f"{len(payload['failures'])} failed runs -> {out}")
     return 1 if failures else 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.faults.campaign import campaign_ok, run_campaign
+
+    if args.level == "all":
+        levels = list(ProtectionLevel)
+    else:
+        levels = [ProtectionLevel(args.level)]
+
+    def progress(level: str, done: int, total: int) -> None:
+        sys.stderr.write(f"\r[chaos:{level}] {done}/{total} schedules")
+        if done == total:
+            sys.stderr.write("\n")
+        sys.stderr.flush()
+
+    report = run_campaign(
+        server=args.server,
+        levels=levels,
+        seed=args.seed,
+        schedules=args.schedules,
+        faults_per_schedule=args.faults,
+        connections=args.connections,
+        pressure_pages=args.pressure,
+        memory_mb=args.memory_mb,
+        key_bits=args.key_bits,
+        progress=progress,
+    )
+    text = json.dumps(report, indent=2, sort_keys=True)
+    out = args.out
+    if out is None:
+        out = (Path("benchmarks") / "results" /
+               f"chaos_{args.server}_{args.level}.json")
+    if str(out) == "-":
+        print(text)
+    else:
+        out = Path(out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n")
+    for level_name, data in report["levels"].items():
+        summary = data["summary"]
+        print(f"[{args.server} @ {level_name}] "
+              f"{summary['faults_fired']} faults fired over "
+              f"{summary['schedules']} schedules: "
+              f"{summary['connections_ok']} connections served, "
+              f"{summary['rejected']} rejected, "
+              f"{summary['unhandled']} unhandled, "
+              f"{summary['leak_schedules']} leaking schedules")
+    invariant = report.get("invariant")
+    if invariant is not None:
+        verdict = "HOLDS" if invariant["holds"] else "VIOLATED"
+        print(f"integrated invariant {verdict}: {invariant['statement']}")
+    return 0 if campaign_ok(report) else 1
 
 
 def cmd_scan(args: argparse.Namespace) -> int:
@@ -443,6 +505,11 @@ def build_parser() -> argparse.ArgumentParser:
              "recorded as failed cells instead of hanging",
     )
     sweep.add_argument(
+        "--retries", type=int, default=0,
+        help="re-run failed cells up to N extra times (deterministic: "
+             "a recovered cell is byte-identical to a first-try run)",
+    )
+    sweep.add_argument(
         "--memory-mb", type=int, default=None,
         help="machine RAM in MB (default: per-scale/per-kind)",
     )
@@ -455,6 +522,52 @@ def build_parser() -> argparse.ArgumentParser:
              "benchmarks/results/sweep_<kind>_<server>_<scale>.json)",
     )
     sweep.set_defaults(func=cmd_sweep)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection campaign: random fault schedules "
+             "per protection level, post-fault state checked against "
+             "the KeySan oracle",
+    )
+    chaos.add_argument(
+        "--server", choices=("openssh", "apache"), default="openssh",
+        help="which server to run (default: openssh)",
+    )
+    chaos.add_argument(
+        "--level",
+        choices=[level.value for level in ProtectionLevel] + ["all"],
+        default="integrated",
+        help="protection level to stress, or 'all' (default: integrated)",
+    )
+    chaos.add_argument("--seed", type=int, default=42, help="campaign seed")
+    chaos.add_argument(
+        "--schedules", type=int, default=200,
+        help="fault schedules (fresh machines) per level (default: 200)",
+    )
+    chaos.add_argument(
+        "--faults", type=int, default=6,
+        help="fault events drawn per schedule (default: 6)",
+    )
+    chaos.add_argument(
+        "--connections", type=int, default=6,
+        help="connection cycles per schedule (default: 6)",
+    )
+    chaos.add_argument(
+        "--pressure", type=int, default=8,
+        help="pages reclaimed mid-schedule to exercise the swap sites",
+    )
+    chaos.add_argument(
+        "--memory-mb", type=int, default=8, help="machine RAM in MB"
+    )
+    chaos.add_argument(
+        "--key-bits", type=int, default=256, help="RSA modulus size"
+    )
+    chaos.add_argument(
+        "--out", default=None,
+        help="campaign report path ('-' prints to stdout; default "
+             "benchmarks/results/chaos_<server>_<level>.json)",
+    )
+    chaos.set_defaults(func=cmd_chaos)
 
     taint = sub.add_parser(
         "taint",

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.apps.httpd import ApacheConfig, ApacheServer
 from repro.apps.sshd import OpenSSHServer, SshdConfig
@@ -41,6 +41,9 @@ from repro.crypto.rsa import RsaKey, generate_rsa_key
 from repro.errors import WorkloadError
 from repro.kernel.fs import SimFileSystem
 from repro.kernel.kernel import Kernel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults import FaultPlan
 
 SSH_KEY_PATH = "/etc/ssh/ssh_host_rsa_key"
 APACHE_KEY_PATH = "/etc/apache2/ssl/server.key"
@@ -77,6 +80,11 @@ class SimulationConfig:
     #: key file touches the filesystem, and every later copy is tracked
     #: byte-for-byte (see :mod:`repro.sanitizer`).
     taint: bool = False
+    #: Attach a fault injector carrying this plan (see
+    #: :mod:`repro.faults`).  Attachment happens at the *end* of
+    #: construction, so boot and memory aging never consume plan ticks:
+    #: fault indices count workload-time operations only.
+    fault_plan: Optional["FaultPlan"] = None
 
     def effective_root_fstype(self) -> str:
         if self.root_fstype is not None:
@@ -153,6 +161,14 @@ class Simulation:
         self._scanner = MemoryScanner(self.kernel, self.patterns)
         self._dirleak: Optional[Ext2DirLeakAttack] = None
         self._ntty = NttyDumpAttack(self.kernel, self.patterns)
+
+        self.faults = None
+        if self.config.fault_plan is not None:
+            from repro.faults import FaultInjector
+
+            self.faults = FaultInjector.attach(
+                self.kernel, self.config.fault_plan
+            )
 
     def _create_parents(self, path: str) -> None:
         parts = path.strip("/").split("/")[:-1]

@@ -47,6 +47,24 @@ class KernelError(ReproError):
     """Base class for kernel subsystem errors."""
 
 
+class SyscallInterruptedError(KernelError):
+    """A syscall was interrupted and should be retried (EINTR).
+
+    Transient by contract: the operation did not happen, no state
+    changed, and the caller is expected to retry.  The fault injector
+    raises it at the syscall layer to prove callers actually do.
+    """
+
+
+class DiskIOError(KernelError):
+    """A device I/O operation failed (EIO).
+
+    Unlike EINTR this is not retryable-by-contract: the caller must
+    fail the current operation and degrade (reject the connection,
+    keep the rest of the machine serving).
+    """
+
+
 class ProcessError(KernelError):
     """Invalid process operation (unknown pid, double exit, fork of a zombie)."""
 
@@ -117,3 +135,12 @@ class AttackError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload driver hit an inconsistent server state."""
+
+
+class ConnectionRejectedError(WorkloadError):
+    """A server rejected one connection/request after a resource fault.
+
+    This is the *graceful degradation* signal: the affected child or
+    worker was torn down (its key state scrubbed where it owned any),
+    the listener keeps serving, and the caller may simply try again.
+    """

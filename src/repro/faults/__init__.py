@@ -1,0 +1,18 @@
+"""Deterministic fault injection (the chaos kernel).
+
+Exports the schedule/injector layer only; the campaign driver lives in
+:mod:`repro.faults.campaign` and is imported explicitly by the CLI (it
+pulls in the full simulation stack, which itself lazily imports this
+package — keeping it out of the package namespace avoids the cycle).
+"""
+
+from repro.faults.injector import FaultInjector, FiredFault
+from repro.faults.plan import FAULT_SITES, SITE_HORIZONS, FaultPlan
+
+__all__ = [
+    "FAULT_SITES",
+    "SITE_HORIZONS",
+    "FaultInjector",
+    "FaultPlan",
+    "FiredFault",
+]

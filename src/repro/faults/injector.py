@@ -1,0 +1,97 @@
+"""The fault injector: deterministic failure delivery for one machine.
+
+A :class:`FaultInjector` wraps a :class:`~repro.faults.plan.FaultPlan`
+with per-site tick counters and wires itself into a booted kernel the
+same way :class:`~repro.sanitizer.keysan.KeySan` does — one attribute
+per instrumented subsystem, checked inline at each fault site:
+
+* ``kernel.faults``  — syscall layer, page cache, servers, reclaim
+* ``kernel.buddy.faults`` — the allocator's ENOMEM site
+* ``kernel.swap.faults``  — swap-full / torn-write / read-error sites
+
+Every subsystem asks ``faults.tick(site)`` exactly once per operation;
+the injector advances that site's counter and answers whether the plan
+schedules a failure at that index.  Because ticks advance only at real
+operations, a plan's indices are stable across runs of the same seeded
+workload — the basis for byte-identical chaos campaigns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from repro.faults.plan import FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.kernel import Kernel
+
+
+@dataclass(frozen=True)
+class FiredFault:
+    """One fault the injector actually delivered."""
+
+    site: str
+    index: int
+
+
+class FaultInjector:
+    """Per-site tick counting + scheduled failure delivery."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._ticks: Dict[str, int] = {}
+        self.fired: List[FiredFault] = []
+
+    # ------------------------------------------------------------------
+    # attachment (mirrors KeySan.attach)
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(cls, kernel: "Kernel", plan: FaultPlan) -> "FaultInjector":
+        """Create an injector and wire it into ``kernel``'s fault sites."""
+        injector = cls(plan)
+        kernel.faults = injector
+        kernel.buddy.faults = injector
+        kernel.swap.faults = injector
+        return injector
+
+    def detach(self, kernel: "Kernel") -> None:
+        """Unhook; tick counters and the fired log stay for inspection."""
+        kernel.faults = None
+        kernel.buddy.faults = None
+        kernel.swap.faults = None
+
+    # ------------------------------------------------------------------
+    # the hot path
+    # ------------------------------------------------------------------
+    def tick(self, site: str) -> bool:
+        """Count one invocation of ``site``; True means *fail it now*."""
+        index = self._ticks.get(site, 0)
+        self._ticks[site] = index + 1
+        if self.plan.fires(site, index):
+            self.fired.append(FiredFault(site, index))
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def ticks(self, site: str) -> int:
+        """How many times ``site`` has been invoked so far."""
+        return self._ticks.get(site, 0)
+
+    def fired_by_site(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for fault in self.fired:
+            counts[fault.site] = counts.get(fault.site, 0) + 1
+        return counts
+
+    def fired_events(self) -> List[Tuple[str, int]]:
+        """JSON-ready ``(site, index)`` list, in delivery order."""
+        return [(fault.site, fault.index) for fault in self.fired]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultInjector(planned={len(self.plan)}, "
+            f"fired={len(self.fired)})"
+        )

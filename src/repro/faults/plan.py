@@ -1,0 +1,160 @@
+"""Deterministic fault plans: *which* fault sites fail, and *when*.
+
+The paper's countermeasures are claims about every control path, but
+the simulator (like the real OpenSSH/Apache/OpenSSL/2.6.10 stack it
+stands in for) exercises almost exclusively the success paths.  A
+:class:`FaultPlan` makes the error paths first-class: it is a seeded,
+replayable schedule mapping each *fault site* (a named failure point
+threaded through the allocator, swap device, page cache, syscall layer
+and servers) to the exact invocation indices at which it fires.
+
+Plans are pure data — sets of ``(site, index)`` pairs — so the same
+plan replays byte-identically, serialises into campaign reports, and
+round-trips back for regression tests of any schedule a chaos campaign
+flags.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from repro.crypto.randsrc import DeterministicRandom
+
+#: Every fault site the injector knows, with the failure it produces.
+#:
+#: ``buddy.alloc``     ENOMEM from the buddy allocator (reclaim bypassed)
+#: ``swap.out``        swap-full on a slot write
+#: ``swap.torn``       torn slot write: half a page lands, the slot leaks
+#: ``swap.read``       device read error on swap-in
+#: ``pagecache.load``  memory pressure evicts resident file pages (uncleared)
+#: ``syscall.open``    EINTR from open(2)
+#: ``syscall.read``    EIO from read(2)
+#: ``syscall.write``   EIO from write(2)
+#: ``app.kill``        the serving child/worker dies mid-request
+FAULT_SITES = (
+    "buddy.alloc",
+    "swap.out",
+    "swap.torn",
+    "swap.read",
+    "pagecache.load",
+    "syscall.open",
+    "syscall.read",
+    "syscall.write",
+    "app.kill",
+)
+
+#: Default per-site index horizons for :meth:`FaultPlan.random`.  Sites
+#: tick at very different rates (a workload performs thousands of page
+#: allocations but only a handful of swap writes), so uniform indices
+#: over one shared horizon would practically never hit the rare sites.
+SITE_HORIZONS: Dict[str, int] = {
+    "buddy.alloc": 1500,
+    "swap.out": 24,
+    "swap.torn": 24,
+    "swap.read": 16,
+    "pagecache.load": 24,
+    "syscall.open": 32,
+    "syscall.read": 32,
+    "syscall.write": 32,
+    "app.kill": 12,
+}
+
+_EMPTY: frozenset = frozenset()
+
+
+class FaultPlan:
+    """An immutable schedule: fault site -> indices at which it fires.
+
+    The index counts *invocations of that site* (the injector's tick
+    counter), not wall-clock or global events, so a plan's meaning does
+    not depend on what other sites do.
+    """
+
+    def __init__(self, schedule: Mapping[str, Iterable[int]]) -> None:
+        self._schedule: Dict[str, frozenset] = {}
+        for site, indices in schedule.items():
+            if site not in FAULT_SITES:
+                raise ValueError(f"unknown fault site {site!r}")
+            fires = frozenset(int(index) for index in indices)
+            if any(index < 0 for index in fires):
+                raise ValueError(f"negative fault index for site {site!r}")
+            if fires:
+                self._schedule[site] = fires
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def fires(self, site: str, index: int) -> bool:
+        """True when the ``index``-th invocation of ``site`` must fail."""
+        return index in self._schedule.get(site, _EMPTY)
+
+    def sites(self) -> Tuple[str, ...]:
+        """Sites with at least one scheduled fault, in canonical order."""
+        return tuple(site for site in FAULT_SITES if site in self._schedule)
+
+    def events(self) -> List[Tuple[str, int]]:
+        """Every scheduled ``(site, index)`` pair, canonically ordered."""
+        return [
+            (site, index)
+            for site in FAULT_SITES
+            for index in sorted(self._schedule.get(site, _EMPTY))
+        ]
+
+    def __len__(self) -> int:
+        return sum(len(fires) for fires in self._schedule.values())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultPlan):
+            return NotImplemented
+        return self._schedule == other._schedule
+
+    def __hash__(self) -> int:
+        return hash(tuple(self.events()))
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        rng: DeterministicRandom,
+        num_faults: int,
+        sites: Iterable[str] = FAULT_SITES,
+        horizons: Mapping[str, int] = SITE_HORIZONS,
+    ) -> "FaultPlan":
+        """A seeded random plan with up to ``num_faults`` events.
+
+        Draws ``(site, index)`` pairs uniformly (site first, then an
+        index below that site's horizon); duplicate pairs collapse, so
+        the realised plan may hold fewer events than requested.
+        """
+        if num_faults < 0:
+            raise ValueError("num_faults must be non-negative")
+        site_pool = list(sites)
+        for site in site_pool:
+            if site not in FAULT_SITES:
+                raise ValueError(f"unknown fault site {site!r}")
+        schedule: Dict[str, set] = {}
+        for _ in range(num_faults):
+            site = site_pool[rng.randrange(len(site_pool))]
+            index = rng.randrange(horizons.get(site, 64))
+            schedule.setdefault(site, set()).add(index)
+        return cls(schedule)
+
+    # ------------------------------------------------------------------
+    # (de)serialisation — campaign reports and replay
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, List[int]]:
+        """JSON-ready form: site -> sorted firing indices."""
+        return {
+            site: sorted(self._schedule[site])
+            for site in FAULT_SITES
+            if site in self._schedule
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Iterable[int]]) -> "FaultPlan":
+        return cls(data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan(events={len(self)}, sites={list(self.sites())})"

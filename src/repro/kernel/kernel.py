@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import ProcessError
+from repro.errors import ProcessError, ReproError, SwapError
 from repro.kernel.clock import CostModel, SimClock
 from repro.kernel.pagecache import PageCache
 from repro.kernel.process import Process
@@ -140,6 +140,9 @@ class Kernel:
         #: KeySan taint sanitizer, attached via ``KeySan.attach(kernel)``
         #: when the simulation runs in taint mode.
         self.keysan = None
+        #: Fault injector, attached via ``FaultInjector.attach(kernel)``
+        #: when a simulation carries a fault plan.
+        self.faults = None
         self.swap = SwapDevice(self.config.swap_slots, self.config.page_size)
         self.pagecache = PageCache(self)
         self.vfs = Vfs(self)
@@ -237,7 +240,13 @@ class Kernel:
         self._procs[process.pid] = process
         if parent is not None:
             parent.children.append(process)
-        self._setup_stack(process)
+        try:
+            self._setup_stack(process)
+        except ReproError:
+            # ENOMEM building the image: drop the half-built process
+            # rather than leaving it in the table with a torn stack.
+            self.exit_process(process)
+            raise
         self.clock.charge_exec()
         return process
 
@@ -281,8 +290,17 @@ class Kernel:
         self._next_pid += 1
         self._procs[child.pid] = child
         parent.children.append(child)
-        parent.mm.fork_into(child.mm)
-        parent.heap.clone_into(child.heap)
+        try:
+            parent.mm.fork_into(child.mm)
+            parent.heap.clone_into(child.heap)
+        except ReproError:
+            # Mid-fork failure (e.g. injected ENOMEM while duplicating
+            # page tables): unwind the half-built child completely.
+            # teardown() handles a partially populated address space,
+            # and the parent's COW-marked PTEs recover lazily through
+            # the count==1 path on its next write fault.
+            self.exit_process(child)
+            raise
         child.fds = dict(parent.fds)  # shared file-table entries
         child._next_fd = parent._next_fd
         self.clock.charge_fork()
@@ -368,7 +386,13 @@ class Kernel:
             for vpn, _pte in list(process.mm.swap_out_candidates()):
                 if evicted >= target:
                     break
-                process.mm.swap_out(vpn)
+                try:
+                    process.mm.swap_out(vpn)
+                except SwapError:
+                    # Swap full (or an injected device fault): stop the
+                    # scan and report the partial count, like kswapd
+                    # giving up on a congested device.
+                    return evicted
                 evicted += 1
         return evicted
 

@@ -42,6 +42,15 @@ class PageCache:
             self.hits += 1
             return frame
         self.misses += 1
+        if self.kernel.faults is not None and self.kernel.faults.tick(
+            "pagecache.load"
+        ):
+            # Injected memory pressure: the VM scanner reclaims resident
+            # cache pages right before this load.  Reclaim is invisible
+            # to the reading process (the load below still succeeds) but
+            # the evicted frames go back to the allocator *uncleared*
+            # unless clear_on_free is armed — the stock-kernel leak.
+            self.evict_under_pressure(4)
         page_size = self.kernel.physmem.page_size
         frame = self.kernel.buddy.alloc_pages(0, PageFlag.PAGECACHE)
         # Real page-cache reads zero the tail of a partial final page,
@@ -119,6 +128,20 @@ class PageCache:
     def invalidate(self, file_id: int) -> int:
         """Plain invalidation (no clearing) — used on file writes."""
         return self.evict_file(file_id, clear=False)
+
+    def evict_under_pressure(self, max_pages: int = 1) -> int:
+        """Reclaim up to ``max_pages`` resident cache pages, stock-kernel
+        style: no explicit clearing — only the allocator's
+        ``clear_on_free`` switch decides whether the freed frames keep
+        their file content.  Victim order is deterministic (sorted keys)
+        so fault campaigns replay exactly.  Returns pages evicted."""
+        victims = sorted(self._pages)[:max_pages]
+        for key in victims:
+            frame = self._pages.pop(key)
+            page = self.kernel.buddy.pages[frame]
+            page.mapping = None
+            self.kernel.buddy.free_pages(frame)
+        return len(victims)
 
     # ------------------------------------------------------------------
     # queries

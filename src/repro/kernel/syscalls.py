@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.errors import DiskIOError, SyscallInterruptedError
 from repro.kernel.vfs import O_RDONLY
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -28,15 +29,28 @@ class SyscallInterface:
     # files
     # ------------------------------------------------------------------
     def open(self, path: str, flags: int = O_RDONLY) -> int:
+        faults = self.kernel.faults
+        if faults is not None and faults.tick("syscall.open"):
+            # EINTR: nothing happened; well-behaved callers retry.
+            raise SyscallInterruptedError(f"injected EINTR opening {path!r}")
         return self.kernel.vfs.open(self.process, path, flags)
 
     def read(self, fd: int, length: int) -> bytes:
+        faults = self.kernel.faults
+        if faults is not None and faults.tick("syscall.read"):
+            raise DiskIOError(f"injected EIO reading fd {fd}")
         return self.kernel.vfs.read(self.process, fd, length)
 
     def read_all(self, fd: int) -> bytes:
+        faults = self.kernel.faults
+        if faults is not None and faults.tick("syscall.read"):
+            raise DiskIOError(f"injected EIO reading fd {fd}")
         return self.kernel.vfs.read_all(self.process, fd)
 
     def write(self, fd: int, data: bytes) -> int:
+        faults = self.kernel.faults
+        if faults is not None and faults.tick("syscall.write"):
+            raise DiskIOError(f"injected EIO writing fd {fd}")
         return self.kernel.vfs.write(self.process, fd, data)
 
     def close(self, fd: int) -> None:

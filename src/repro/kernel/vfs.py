@@ -14,7 +14,11 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
-from repro.errors import BadFileDescriptorError, FileNotFoundError_
+from repro.errors import (
+    BadFileDescriptorError,
+    FileNotFoundError_,
+    IsADirectoryError_,
+)
 from repro.kernel.fs import SimFile, SimFileSystem
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -87,6 +91,8 @@ class Vfs:
     # ------------------------------------------------------------------
     def open(self, process: "Process", path: str, flags: int = O_RDONLY) -> int:
         fs, rel = self.resolve(path)
+        if rel in getattr(fs, "dirs", ()) and rel not in getattr(fs, "files", {}):
+            raise IsADirectoryError_(f"open of directory {path!r}")
         if not fs.exists(rel) and flags & O_CREAT:
             fs.create_file(rel, b"")
         file = fs.lookup(rel)

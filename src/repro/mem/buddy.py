@@ -74,6 +74,10 @@ class BuddyAllocator:
         #: every successful :meth:`free_pages`, so the sanitizer can
         #: catch tainted frames entering a free list uncleared.
         self.on_free: Optional[Callable[[int, int, bool], None]] = None
+        #: Fault injector (``repro.faults``); when armed, scheduled
+        #: invocations of alloc_pages fail with ENOMEM as if direct
+        #: reclaim had already run and found nothing.
+        self.faults = None
 
         self.pages: List[Page] = [Page(frame) for frame in range(physmem.num_frames)]
         self._free_lists: Dict[int, List[int]] = {o: [] for o in range(max_order + 1)}
@@ -146,6 +150,8 @@ class BuddyAllocator:
         """
         if not 0 <= order <= self.max_order:
             raise AllocatorStateError(f"invalid order {order}")
+        if self.faults is not None and self.faults.tick("buddy.alloc"):
+            raise OutOfMemoryError(f"injected allocation failure (order {order})")
         if order == 0 and self._hot:
             frame = self._hot.pop()
             self._hot_set.discard(frame)

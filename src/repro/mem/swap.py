@@ -6,10 +6,16 @@ Provos attack the paper cites), and the RAM frame the page vacated is
 freed **without being cleared**, so its key bytes linger in unallocated
 memory.  The application-level countermeasure pins the key page with
 ``mlock()`` precisely to keep it off this path.
+
+Free slots are kept in a min-heap so allocation is O(log n) while
+preserving the original lowest-slot-first placement (the old
+implementation scanned ``range(num_slots)`` linearly — same answer,
+O(n) per write, painful under swap-full stress).
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import Dict, List
 
 from repro.errors import SwapError
@@ -26,17 +32,29 @@ class SwapDevice:
         self.page_size = page_size
         self._store = bytearray(num_slots * page_size)
         self._used: Dict[int, bool] = {}
+        # ``range`` is already sorted, hence already a valid min-heap.
+        # Invariant: a slot is on the heap iff it is not used; pushes
+        # happen only on used -> free transitions, so no duplicates.
+        self._free_heap: List[int] = list(range(num_slots))
         self.swap_outs = 0
         self.swap_ins = 0
+        #: Fault injector (``repro.faults``); arms the swap-full,
+        #: torn-write and read-error sites.
+        self.faults = None
 
     # ------------------------------------------------------------------
     # slot management
     # ------------------------------------------------------------------
     def _find_free_slot(self) -> int:
-        for slot in range(self.num_slots):
-            if not self._used.get(slot, False):
-                return slot
-        raise SwapError("swap device full")
+        if not self._free_heap:
+            raise SwapError("swap device full")
+        return heapq.heappop(self._free_heap)
+
+    def _release_slot(self, slot: int) -> None:
+        """Mark a used slot free again (heap push on the transition)."""
+        if self._used.get(slot, False):
+            self._used[slot] = False
+            heapq.heappush(self._free_heap, slot)
 
     def swap_out(self, content: bytes) -> int:
         """Store one page of ``content``; return its slot number."""
@@ -44,8 +62,21 @@ class SwapDevice:
             raise SwapError(
                 f"swap_out needs exactly {self.page_size} bytes, got {len(content)}"
             )
+        if self.faults is not None and self.faults.tick("swap.out"):
+            # Injected swap-full: fail before claiming a slot, exactly
+            # like _find_free_slot on a genuinely exhausted device.
+            raise SwapError("injected swap-full on swap_out")
         slot = self._find_free_slot()
         base = slot * self.page_size
+        if self.faults is not None and self.faults.tick("swap.torn"):
+            # Torn write: half the page lands, then the device errors.
+            # The slot stays claimed (nothing reconciles it), holding a
+            # partial stale copy — the worst case for disk forensics.
+            half = self.page_size // 2
+            self._store[base : base + half] = content[:half]
+            self._used[slot] = True
+            self.swap_outs += 1
+            raise SwapError(f"injected torn write on swap slot {slot}")
         self._store[base : base + self.page_size] = content
         self._used[slot] = True
         self.swap_outs += 1
@@ -58,10 +89,14 @@ class SwapDevice:
         self._check_slot(slot)
         if not self._used.get(slot, False):
             raise SwapError(f"swap_in from empty slot {slot}")
+        if self.faults is not None and self.faults.tick("swap.read"):
+            # Device read error: the slot keeps its content and stays
+            # used; the faulting process never sees the page.
+            raise SwapError(f"injected read error on swap slot {slot}")
         base = slot * self.page_size
         content = bytes(self._store[base : base + self.page_size])
         if free_slot:
-            self._used[slot] = False
+            self._release_slot(slot)
         self.swap_ins += 1
         return content
 
@@ -70,7 +105,7 @@ class SwapDevice:
         self._check_slot(slot)
         base = slot * self.page_size
         self._store[base : base + self.page_size] = b"\x00" * self.page_size
-        self._used[slot] = False
+        self._release_slot(slot)
 
     def _check_slot(self, slot: int) -> None:
         if not 0 <= slot < self.num_slots:

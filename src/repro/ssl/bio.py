@@ -11,16 +11,35 @@ The integrated solution's modified ``BIO_new_file`` (the paper's
 ``bss_file.c`` diff) opens read-only files with ``O_NOCACHE``, which a
 patched kernel honours by evicting and clearing the cache pages after
 the read.
+
+I/O goes through the process's :class:`SyscallInterface` (the fault
+injector's syscall sites live there), and like real BIO code the open
+retries on EINTR; a hard EIO propagates to the caller, which must fail
+the operation in flight.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Tuple
 
+from repro.errors import SyscallInterruptedError
+from repro.kernel.syscalls import SyscallInterface
 from repro.kernel.vfs import O_NOCACHE, O_RDONLY
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.kernel.process import Process
+
+#: How many EINTRs the open loop absorbs before giving up.
+EINTR_RETRIES = 3
+
+
+def _open_retrying(sys: SyscallInterface, path: str, flags: int) -> int:
+    for _ in range(EINTR_RETRIES):
+        try:
+            return sys.open(path, flags)
+        except SyscallInterruptedError:
+            continue
+    return sys.open(path, flags)
 
 
 def bio_read_file(
@@ -32,13 +51,13 @@ def bio_read_file(
     is responsible for freeing — and, if it holds secrets, clearing —
     it, exactly as with a real ``BIO`` read.
     """
-    kernel = process.kernel
+    sys = SyscallInterface(process.kernel, process)
     flags = O_RDONLY | (O_NOCACHE if use_nocache else 0)
-    fd = kernel.vfs.open(process, path, flags)
+    fd = _open_retrying(sys, path, flags)
     try:
-        data = kernel.vfs.read_all(process, fd)
+        data = sys.read_all(fd)
     finally:
-        kernel.vfs.close(process, fd)
+        sys.close(fd)
     if not data:
         raise ValueError(f"file {path!r} is empty")
     addr = process.heap.malloc(len(data))

@@ -1,0 +1,27 @@
+"""Fixture: swallowed simulator errors — both shapes must be flagged."""
+
+
+def reckless_cleanup(connection, SwapError, ReproError):
+    try:
+        connection.scrub()
+    except:  # noqa: E722 — bare except: always flagged
+        connection = None
+    try:
+        connection.swap_out()
+    except SwapError:
+        pass  # silent ReproError subclass: flagged
+    try:
+        connection.abort()
+    except (SwapError, ReproError):
+        "nothing to do"  # constant-only body is still silent: flagged
+
+
+def careful_cleanup(connection, SwapError, failures):
+    try:
+        connection.scrub()
+    except SwapError:
+        failures.append("scrub")  # recorded: NOT flagged
+    try:
+        connection.close()
+    except ValueError:
+        pass  # not a simulator error: NOT flagged

@@ -46,6 +46,13 @@ class TestRulesFire:
         assert len(violations) == 1
         assert "alloc_key_page_swappable" in violations[0].message
 
+    def test_swallowed_error_flags_silent_handlers(self):
+        violations = lint_file(FIXTURES / "bad_swallow.py")
+        assert rules_in(violations) == {"swallowed-error"}
+        assert len(violations) == 3  # bare, pass-only, constant-only
+        # Recording handlers and non-Repro exception types stay clean.
+        assert all(v.line < 19 for v in violations)
+
     def test_every_rule_has_a_firing_fixture(self):
         violations = lint_paths([FIXTURES])
         assert rules_in(violations) == set(RULE_NAMES)

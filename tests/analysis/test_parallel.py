@@ -173,3 +173,102 @@ class TestPerfSpecs:
         assert metrics.concurrent == 4
         assert metrics.elapsed_s > 0
         assert metrics.bytes_moved == outcome.bytes_moved
+
+
+def _flaky_execute(marker_dir, flaky_keys, spec):
+    """Module-level (hence picklable) runner that fails each flaky spec
+    exactly once per marker directory, then behaves normally.  Marker
+    files persist the 'already failed' bit across pool workers."""
+    import pathlib
+
+    key = str(derive_seed(spec))
+    if key in flaky_keys:
+        marker = pathlib.Path(marker_dir) / key
+        if not marker.exists():
+            marker.write_text("failed once")
+            raise RuntimeError("simulated flaky worker")
+    return parallel.execute_spec(spec)
+
+
+def _always_fail(spec):
+    raise RuntimeError("permanent failure")
+
+
+class TestRetries:
+    """--retries: deterministic recovery of flaky cells."""
+
+    def _specs(self):
+        return ntty_sweep_specs(
+            "openssh", connections=(0, 5), repetitions=2,
+            level=ProtectionLevel.NONE, seed=4, memory_mb=8, key_bits=256,
+        )
+
+    def _flaky_runner(self, tmp_path, specs, indices):
+        import functools
+
+        keys = frozenset(str(derive_seed(specs[i])) for i in indices)
+        return functools.partial(_flaky_execute, str(tmp_path), keys)
+
+    def test_without_retries_flaky_cells_fail(self, tmp_path):
+        specs = self._specs()
+        runner = self._flaky_runner(tmp_path, specs, (1, 2))
+        outcomes, failures = run_specs(specs, workers=1, runner=runner)
+        assert outcomes[1] is None and outcomes[2] is None
+        assert len(failures) == 2
+        assert all(f.attempts == 1 and f.backoff_s == 0.0 for f in failures)
+
+    def test_retry_recovers_and_is_byte_identical(self, tmp_path):
+        """A recovered cell must be indistinguishable from a first-try
+        run: the seed depends only on the spec, never on the attempt."""
+        specs = self._specs()
+        baseline, base_failures = run_specs(specs, workers=1)
+        assert not base_failures
+        runner = self._flaky_runner(tmp_path, specs, (0, 3))
+        outcomes, failures = run_specs(
+            specs, workers=1, retries=2, runner=runner
+        )
+        assert failures == []
+        assert outcomes == baseline
+
+    def test_retry_through_pool(self, tmp_path):
+        specs = self._specs()
+        baseline, _ = run_specs(specs, workers=1)
+        runner = self._flaky_runner(tmp_path, specs, (1,))
+        outcomes, failures = run_specs(
+            specs, workers=2, chunksize=1, retries=1, runner=runner
+        )
+        assert failures == []
+        assert outcomes == baseline
+
+    def test_exhausted_retries_still_failedrun(self):
+        specs = self._specs()[:2]
+        outcomes, failures = run_specs(
+            specs, workers=1, retries=2, runner=_always_fail
+        )
+        assert outcomes == [None, None]
+        assert len(failures) == 2
+        for failure in failures:
+            assert failure.attempts == 3  # first try + 2 retries
+            # Simulated exponential backoff: 0.05 + 0.10, never slept.
+            assert failure.backoff_s == pytest.approx(
+                parallel.RETRY_BACKOFF_BASE_S * 3
+            )
+            assert "permanent failure" in failure.error
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            run_specs(self._specs()[:1], retries=-1)
+
+    def test_sweep_level_retries_forwarded(self, tmp_path):
+        """End-to-end: a flaky sweep with retries equals the fault-free
+        sweep (the acceptance criterion for the satellite)."""
+        kwargs = dict(
+            connections=(0, 5), repetitions=2,
+            key_bits=256, memory_mb=8, seed=4,
+        )
+        clean = ntty_attack_sweep("openssh", **kwargs, workers=1)
+        retried = ntty_attack_sweep(
+            "openssh", **kwargs, workers=1, retries=2
+        )
+        assert clean.cells == retried.cells
+        assert not retried.failures

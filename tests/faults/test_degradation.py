@@ -1,0 +1,141 @@
+"""Graceful degradation: a faulted connection is rejected and cleaned
+up; the listener keeps serving. The servers' one-signal contract is
+ConnectionRejectedError -- anything else escaping is a chaos finding."""
+
+import pytest
+
+from repro.core.protection import ProtectionLevel
+from repro.core.simulation import Simulation, SimulationConfig
+from repro.crypto.randsrc import DeterministicRandom
+from repro.errors import ConnectionRejectedError
+from repro.faults import FaultPlan
+
+
+def make_sim(server, level=ProtectionLevel.NONE, seed=0, plan=None, taint=False):
+    return Simulation(
+        SimulationConfig(
+            server=server,
+            level=level,
+            seed=seed,
+            key_bits=256,
+            memory_mb=8,
+            taint=taint,
+            fault_plan=plan,
+        )
+    )
+
+
+def enomem_target(server, seed):
+    """Probe run (empty plan): find a buddy.alloc tick index that lands
+    inside the first connection, after server start. Determinism of the
+    seeded workload makes the probe's indices valid for the real run."""
+    probe = make_sim(server, seed=seed, plan=FaultPlan({}))
+    probe.start_server()
+    start_ticks = probe.faults.ticks("buddy.alloc")
+    if server == "openssh":
+        probe.server.open_connection()
+    else:
+        probe.server.handle_request(16 * 1024)
+    conn_ticks = probe.faults.ticks("buddy.alloc")
+    assert conn_ticks > start_ticks, "connection performed no allocations"
+    return start_ticks + (conn_ticks - start_ticks) // 2
+
+
+class TestSshdDegradation:
+    def test_kill_during_setup_rejected_and_server_survives(self):
+        sim = make_sim("openssh", plan=FaultPlan({"app.kill": [0]}))
+        sim.start_server()
+        with pytest.raises(ConnectionRejectedError):
+            sim.server.open_connection()
+        assert sim.server.running
+        assert sim.server.rejected_connections == 1
+        assert sim.server.connections == []
+        conn = sim.server.open_connection()  # next connection serves fine
+        assert conn.child.alive
+
+    def test_injected_enomem_rejected_and_server_survives(self):
+        target = enomem_target("openssh", seed=7)
+        sim = make_sim(
+            "openssh", seed=7, plan=FaultPlan({"buddy.alloc": [target]})
+        )
+        sim.start_server()
+        with pytest.raises(ConnectionRejectedError):
+            sim.server.open_connection()
+        assert sim.server.running
+        assert sim.server.rejected_connections == 1
+        # The faulted child was torn down, not leaked into the table.
+        assert sim.server.connections == []
+        sim.server.run_connection_cycle(16 * 1024)
+        assert sim.server.total_connections >= 1
+
+    def test_kill_mid_transfer_drops_connection_only(self):
+        sim = make_sim("openssh", plan=FaultPlan({"app.kill": [1]}))
+        sim.start_server()
+        conn = sim.server.open_connection()  # tick 0: survives setup
+        with pytest.raises(ConnectionRejectedError):
+            conn.transfer(64 * 1024, DeterministicRandom(5))
+        assert not conn.child.alive
+        assert conn not in sim.server.connections
+        assert sim.server.dropped_connections == 1
+        assert sim.server.running
+        sim.server.run_connection_cycle(16 * 1024)
+
+    def test_swap_error_surfaces_as_rejection(self):
+        """Swap-in failure while a connection touches a reclaimed page
+        must come out as the rejection signal, not a raw SwapError."""
+        sim = make_sim("openssh", seed=3, plan=FaultPlan({"swap.read": [0]}))
+        sim.start_server()
+        sim.kernel.reclaim_pages(64)  # swap out live pages
+        # The first swapped page the connection touches (fork COW, key
+        # re-read, session buffer) hits the injected read error.
+        with pytest.raises(ConnectionRejectedError):
+            conn = sim.server.open_connection()
+            conn.transfer(64 * 1024, DeterministicRandom(5))
+            conn.close()
+        assert sim.server.rejected_connections + sim.server.dropped_connections == 1
+        # The listener survives and serves the next client.
+        assert sim.server.running
+        sim.server.run_connection_cycle(16 * 1024)
+
+
+class TestHttpdDegradation:
+    def test_kill_mid_request_rejected_and_pool_recovers(self):
+        sim = make_sim("apache", plan=FaultPlan({"app.kill": [0]}))
+        sim.start_server()
+        with pytest.raises(ConnectionRejectedError):
+            sim.server.handle_request(16 * 1024)
+        assert sim.server.running
+        assert sim.server.rejected_requests == 1
+        worker = sim.server.handle_request(16 * 1024)  # pool was respawned
+        assert worker.process.alive
+
+    def test_injected_enomem_rejected_and_pool_recovers(self):
+        target = enomem_target("apache", seed=11)
+        sim = make_sim(
+            "apache", seed=11, plan=FaultPlan({"buddy.alloc": [target]})
+        )
+        sim.start_server()
+        with pytest.raises(ConnectionRejectedError):
+            sim.server.handle_request(16 * 1024)
+        assert sim.server.running
+        assert sim.server.rejected_requests == 1
+        sim.server.handle_request(16 * 1024)
+
+    def test_protected_level_scrubs_on_rejection(self):
+        """At INTEGRATED the rejection path must leave no taint behind:
+        the kill is followed by kernel-level zeroing, so the oracle sees
+        clean freed frames even though user cleanup never ran."""
+        sim = make_sim(
+            "apache",
+            level=ProtectionLevel.INTEGRATED,
+            plan=FaultPlan({"app.kill": [0]}),
+            taint=True,
+        )
+        sim.start_server()
+        with pytest.raises(ConnectionRejectedError):
+            sim.server.handle_request(16 * 1024)
+        sim.server.handle_request(16 * 1024)
+        report = sim.taint_report()
+        kinds = report.diagnostics_by_kind()
+        assert kinds.get("freed-tainted-frame", 0) == 0
+        assert report.by_region.get("free", 0) == 0

@@ -1,0 +1,146 @@
+"""FaultInjector: tick counting, kernel wiring, and every fault site
+actually failing its subsystem with the documented exception."""
+
+import pytest
+
+from repro.errors import (
+    DiskIOError,
+    OutOfMemoryError,
+    SwapError,
+    SyscallInterruptedError,
+)
+from repro.faults import FaultInjector, FaultPlan
+from repro.kernel.fs import SimFileSystem
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.kernel.syscalls import O_RDONLY, SyscallInterface
+from repro.mem.physmem import PAGE_SIZE
+from repro.mem.swap import SwapDevice
+
+
+def page_of(byte):
+    return bytes([byte]) * PAGE_SIZE
+
+
+class TestTicks:
+    def test_counts_and_fires_at_index(self):
+        injector = FaultInjector(FaultPlan({"swap.out": [2]}))
+        assert [injector.tick("swap.out") for _ in range(4)] == [
+            False, False, True, False,
+        ]
+        assert injector.ticks("swap.out") == 4
+        assert injector.fired_events() == [("swap.out", 2)]
+
+    def test_sites_count_independently(self):
+        injector = FaultInjector(FaultPlan({"swap.out": [0]}))
+        assert not injector.tick("swap.read")
+        assert injector.tick("swap.out")  # swap.read ticks didn't advance it
+        assert injector.fired_by_site() == {"swap.out": 1}
+
+    def test_attach_detach(self, kernel):
+        injector = FaultInjector.attach(kernel, FaultPlan({}))
+        assert kernel.faults is injector
+        assert kernel.buddy.faults is injector
+        assert kernel.swap.faults is injector
+        injector.detach(kernel)
+        assert kernel.faults is None
+        assert kernel.buddy.faults is None
+        assert kernel.swap.faults is None
+
+
+class TestBuddySite:
+    def test_injected_enomem(self, kernel):
+        FaultInjector.attach(kernel, FaultPlan({"buddy.alloc": [0]}))
+        with pytest.raises(OutOfMemoryError):
+            kernel.buddy.alloc_pages(0)
+        frame = kernel.buddy.alloc_pages(0)  # next attempt succeeds
+        kernel.buddy.free_pages(frame)
+
+    def test_injection_bypasses_reclaim(self, kernel):
+        """An injected ENOMEM models allocation failure *after* reclaim;
+        it must not consume any frames to deliver."""
+        free_before = kernel.buddy.free_frames()
+        FaultInjector.attach(kernel, FaultPlan({"buddy.alloc": [0]}))
+        with pytest.raises(OutOfMemoryError):
+            kernel.buddy.alloc_pages(0)
+        assert kernel.buddy.free_frames() == free_before
+
+
+class TestSwapSites:
+    def _faulted(self, plan):
+        swap = SwapDevice(num_slots=4)
+        swap.faults = FaultInjector(FaultPlan(plan))
+        return swap
+
+    def test_swap_out_full(self):
+        swap = self._faulted({"swap.out": [0]})
+        with pytest.raises(SwapError):
+            swap.swap_out(page_of(1))
+        assert swap.free_slots() == 4  # fault fires before a slot is claimed
+        assert swap.swap_out(page_of(1)) == 0
+
+    def test_torn_write_leaks_the_slot(self):
+        swap = self._faulted({"swap.torn": [0]})
+        with pytest.raises(SwapError):
+            swap.swap_out(page_of(0xAB))
+        # Worst case, faithfully modelled: the slot is consumed and holds
+        # half a page of the secret.
+        assert swap.used_slots() == [0]
+        assert swap.raw_dump().count(0xAB) == PAGE_SIZE // 2
+
+    def test_read_error_preserves_slot(self):
+        swap = self._faulted({"swap.read": [0]})
+        slot = swap.swap_out(page_of(7))
+        with pytest.raises(SwapError):
+            swap.swap_in(slot)
+        assert swap.swap_in(slot) == page_of(7)  # retry works, data intact
+
+
+class TestSyscallSites:
+    def _sys(self, plan):
+        kern = Kernel(KernelConfig.vulnerable(memory_mb=4))
+        fs = SimFileSystem("ext2", label="root")
+        fs.create_file("f.txt", b"fault-injection-data")
+        kern.vfs.mount("/", fs)
+        FaultInjector.attach(kern, FaultPlan(plan))
+        return SyscallInterface(kern, kern.create_process("app"))
+
+    def test_open_eintr(self):
+        sys = self._sys({"syscall.open": [0]})
+        with pytest.raises(SyscallInterruptedError):
+            sys.open("/f.txt", O_RDONLY)
+        fd = sys.open("/f.txt", O_RDONLY)  # EINTR is retryable
+        assert sys.read_all(fd) == b"fault-injection-data"
+
+    def test_read_eio(self):
+        sys = self._sys({"syscall.read": [0]})
+        fd = sys.open("/f.txt", O_RDONLY)
+        with pytest.raises(DiskIOError):
+            sys.read(fd, 5)
+
+    def test_write_eio(self):
+        sys = self._sys({"syscall.write": [0]})
+        fd = sys.open("/f.txt", O_RDONLY)
+        with pytest.raises(DiskIOError):
+            sys.write(fd, b"xx")
+
+
+class TestPageCacheSite:
+    def test_pressure_evicts_resident_pages(self):
+        kern = Kernel(KernelConfig.vulnerable(memory_mb=4))
+        fs = SimFileSystem("ext2", label="root")
+        fs.create_file("a.txt", b"A" * PAGE_SIZE * 3)
+        fs.create_file("b.txt", b"B" * PAGE_SIZE)
+        kern.vfs.mount("/", fs)
+        proc = kern.create_process("app")
+        sys = SyscallInterface(kern, proc)
+        fd_a = sys.open("/a.txt", O_RDONLY)
+        sys.read_all(fd_a)  # a.txt now resident
+        resident_before = len(kern.pagecache._pages)
+        assert resident_before >= 3
+
+        FaultInjector.attach(kern, FaultPlan({"pagecache.load": [0]}))
+        fd_b = sys.open("/b.txt", O_RDONLY)
+        data = sys.read_all(fd_b)  # miss ticks the site -> pressure eviction
+        assert data == b"B" * PAGE_SIZE  # the read itself still succeeds
+        assert len(kern.pagecache._pages) < resident_before + 1
+        assert kern.faults.fired_by_site() == {"pagecache.load": 1}

@@ -1,0 +1,101 @@
+"""FaultPlan: pure data, validated, seeded, round-trippable."""
+
+import json
+
+import pytest
+
+from repro.crypto.randsrc import DeterministicRandom
+from repro.faults import FAULT_SITES, SITE_HORIZONS, FaultPlan
+
+
+class TestConstruction:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan({"warp.core": [0]})
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan({"buddy.alloc": [3, -1]})
+
+    def test_empty_sites_dropped(self):
+        plan = FaultPlan({"buddy.alloc": [], "swap.out": [2]})
+        assert plan.sites() == ("swap.out",)
+        assert len(plan) == 1
+
+    def test_duplicate_indices_collapse(self):
+        plan = FaultPlan({"swap.out": [2, 2, 2]})
+        assert len(plan) == 1
+
+
+class TestQueries:
+    PLAN = {"buddy.alloc": [5, 1], "app.kill": [0]}
+
+    def test_fires(self):
+        plan = FaultPlan(self.PLAN)
+        assert plan.fires("buddy.alloc", 1)
+        assert plan.fires("buddy.alloc", 5)
+        assert not plan.fires("buddy.alloc", 0)
+        assert not plan.fires("swap.out", 1)
+
+    def test_events_canonical_order(self):
+        plan = FaultPlan(self.PLAN)
+        assert plan.events() == [("buddy.alloc", 1), ("buddy.alloc", 5), ("app.kill", 0)]
+
+    def test_equality_and_hash(self):
+        a = FaultPlan(self.PLAN)
+        b = FaultPlan({"app.kill": [0], "buddy.alloc": [1, 5]})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != FaultPlan({"app.kill": [0]})
+
+
+class TestRandom:
+    def test_same_seed_same_plan(self):
+        a = FaultPlan.random(DeterministicRandom(9), num_faults=8)
+        b = FaultPlan.random(DeterministicRandom(9), num_faults=8)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        plans = {FaultPlan.random(DeterministicRandom(seed), 8) for seed in range(20)}
+        assert len(plans) > 1
+
+    def test_respects_horizons(self):
+        for seed in range(30):
+            plan = FaultPlan.random(DeterministicRandom(seed), 10)
+            for site, index in plan.events():
+                assert 0 <= index < SITE_HORIZONS[site]
+
+    def test_site_subset(self):
+        plan = FaultPlan.random(DeterministicRandom(3), 20, sites=("swap.out",))
+        assert set(plan.sites()) <= {"swap.out"}
+
+    def test_unknown_subset_site_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.random(DeterministicRandom(3), 2, sites=("nope",))
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.random(DeterministicRandom(3), -1)
+
+    def test_rare_sites_reachable(self):
+        """The per-site horizons exist so app.kill (12 ticks/run) is as
+        hittable as buddy.alloc (thousands); check both actually occur."""
+        seen = set()
+        for seed in range(80):
+            seen.update(FaultPlan.random(DeterministicRandom(seed), 6).sites())
+        assert "app.kill" in seen and "buddy.alloc" in seen
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        plan = FaultPlan.random(DeterministicRandom(7), 10)
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_dict_is_json_ready_and_sorted(self):
+        plan = FaultPlan({"syscall.read": [9, 2, 4]})
+        data = plan.to_dict()
+        assert data == {"syscall.read": [2, 4, 9]}
+        assert json.loads(json.dumps(data)) == data
+
+    def test_all_sites_have_horizons(self):
+        assert set(SITE_HORIZONS) == set(FAULT_SITES)

@@ -99,3 +99,76 @@ class TestDisclosureSurface:
     def test_rejects_bad_sizes(self):
         with pytest.raises(ValueError):
             SwapDevice(num_slots=0)
+
+
+class TestFreeSlotHeap:
+    """The free-slot min-heap: same lowest-slot-first behaviour as the
+    old O(n) scan, without the scan."""
+
+    def test_lowest_free_slot_first(self):
+        swap = SwapDevice(num_slots=8)
+        slots = [swap.swap_out(page_of(i)) for i in range(6)]
+        assert slots == [0, 1, 2, 3, 4, 5]
+        swap.swap_in(4)
+        swap.swap_in(1)
+        # Freed slots come back lowest-first, exactly like the scan did.
+        assert swap.swap_out(page_of(7)) == 1
+        assert swap.swap_out(page_of(8)) == 4
+        assert swap.swap_out(page_of(9)) == 6
+
+    def test_fill_drain_refill(self):
+        swap = SwapDevice(num_slots=64)
+        for round_num in range(3):
+            slots = [swap.swap_out(page_of(round_num)) for _ in range(64)]
+            assert slots == list(range(64))
+            with pytest.raises(SwapError):
+                swap.swap_out(page_of(0xFF))
+            assert swap.free_slots() == 0
+            for slot in slots:
+                assert swap.swap_in(slot) == page_of(round_num)
+            assert swap.free_slots() == 64
+
+    def test_matches_linear_scan_model(self):
+        """Differential stress: drive the device and a sorted-set model
+        of the old linear scan with the same deterministic op stream;
+        every slot choice must be identical."""
+        import random
+
+        swap = SwapDevice(num_slots=32)
+        model_free = set(range(32))
+        model_used = set()
+        rng = random.Random(1234)
+        for step in range(2000):
+            if model_used and (not model_free or rng.random() < 0.5):
+                slot = rng.choice(sorted(model_used))
+                keep = rng.random() < 0.2
+                swap.swap_in(slot, free_slot=not keep)
+                if not keep:
+                    model_used.discard(slot)
+                    model_free.add(slot)
+            elif model_free:
+                expected = min(model_free)  # what the old scan returned
+                assert swap.swap_out(page_of(step % 251)) == expected
+                model_free.discard(expected)
+                model_used.add(expected)
+        assert swap.free_slots() == len(model_free)
+        assert set(swap.used_slots()) == model_used
+
+    def test_scrub_makes_slot_reusable_once(self):
+        swap = SwapDevice(num_slots=2)
+        slot = swap.swap_out(page_of(1))
+        swap.scrub_slot(slot)
+        swap.scrub_slot(slot)  # idempotent: no duplicate heap entry
+        assert swap.swap_out(page_of(2)) == slot
+        assert swap.swap_out(page_of(3)) == 1
+        with pytest.raises(SwapError):
+            swap.swap_out(page_of(4))
+
+    def test_double_release_via_keep_then_free(self):
+        swap = SwapDevice(num_slots=2)
+        slot = swap.swap_out(page_of(1))
+        swap.swap_in(slot, free_slot=False)  # still used
+        swap.swap_in(slot)                   # now freed
+        with pytest.raises(SwapError):
+            swap.swap_in(slot)               # already free: no double push
+        assert swap.free_slots() == 2

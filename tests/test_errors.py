@@ -1,0 +1,248 @@
+"""The errno-style exception hierarchy: every leaf is raised by at
+least one real code path, and the isinstance chains the degradation
+handlers rely on (``except ReproError``) actually hold."""
+
+import inspect
+
+import pytest
+
+from repro import errors
+from repro.core.protection import ProtectionLevel
+from repro.core.simulation import Simulation, SimulationConfig
+from repro.crypto.pem import pem_decode
+from repro.crypto.randsrc import DeterministicRandom
+from repro.crypto.rsa import generate_rsa_key
+from repro.errors import (
+    AllocatorStateError,
+    AttackError,
+    BadAddressError,
+    BadFileDescriptorError,
+    BignumError,
+    ConnectionRejectedError,
+    DiskIOError,
+    EncodingError,
+    FileExistsError_,
+    FileNotFoundError_,
+    IsADirectoryError_,
+    KernelError,
+    KeyGenerationError,
+    MemoryError_,
+    NoSpaceError,
+    NotADirectoryError_,
+    OutOfMemoryError,
+    PaddingError,
+    ProcessError,
+    ProtectionFaultError,
+    ReproError,
+    RsaStructError,
+    SignatureError,
+    SwapError,
+    SyscallInterruptedError,
+    WorkloadError,
+)
+from repro.faults import FaultInjector, FaultPlan
+from repro.kernel.fs import SimFileSystem
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.kernel.syscalls import SyscallInterface
+from repro.kernel.vfs import O_RDONLY
+from repro.kernel.vm import VmaFlag
+from repro.mem.swap import SwapDevice
+from repro.ssl.bn import bn_bin2bn, bn_free
+
+
+class TestHierarchy:
+    def test_every_exception_is_a_repro_error(self):
+        classes = [
+            obj for _, obj in inspect.getmembers(errors, inspect.isclass)
+            if issubclass(obj, Exception)
+        ]
+        assert len(classes) > 20
+        for cls in classes:
+            assert issubclass(cls, ReproError), cls
+
+    def test_degradation_handler_chains(self):
+        """The server handlers catch these bases; the leaves must stay
+        underneath them or faults start escaping as unhandled."""
+        assert issubclass(OutOfMemoryError, MemoryError_)
+        assert issubclass(SwapError, MemoryError_)
+        assert issubclass(SyscallInterruptedError, KernelError)
+        assert issubclass(DiskIOError, KernelError)
+        assert issubclass(ConnectionRejectedError, WorkloadError)
+        assert not issubclass(ReproError, (OSError, RuntimeError))
+
+
+def small_kernel(**overrides):
+    return Kernel(KernelConfig(memory_mb=4, **overrides))
+
+
+def rooted_kernel():
+    kern = small_kernel()
+    fs = SimFileSystem("ext2", label="root")
+    fs.create_file("f.txt", b"data")
+    kern.vfs.mount("/", fs)
+    return kern, fs
+
+
+class TestMemoryErrors:
+    def test_out_of_memory_injected(self):
+        kern = small_kernel()
+        FaultInjector.attach(kern, FaultPlan({"buddy.alloc": [0]}))
+        with pytest.raises(OutOfMemoryError):
+            kern.buddy.alloc_pages(0)
+
+    def test_bad_address_unmapped_read(self):
+        proc = small_kernel().create_process("app")
+        with pytest.raises(BadAddressError):
+            proc.mm.read(0x7000_0000, 4)
+
+    def test_protection_fault_on_readonly_write(self):
+        proc = small_kernel().create_process("app")
+        vma = proc.mm.mmap_anon(4096, flags=VmaFlag.READ, name="ro")
+        with pytest.raises(ProtectionFaultError):
+            proc.mm.write(vma.start, b"x")
+
+    def test_allocator_state_double_free(self):
+        kern = small_kernel()
+        frame = kern.buddy.alloc_pages(0)
+        kern.buddy.free_pages(frame)
+        with pytest.raises(AllocatorStateError):
+            kern.buddy.free_pages(frame)
+
+    def test_swap_full(self):
+        swap = SwapDevice(num_slots=1)
+        swap.swap_out(b"\x00" * swap.page_size)
+        with pytest.raises(SwapError):
+            swap.swap_out(b"\x00" * swap.page_size)
+
+
+class TestKernelErrors:
+    def test_eintr_and_eio_injected(self):
+        kern, _ = rooted_kernel()
+        FaultInjector.attach(
+            kern, FaultPlan({"syscall.open": [0], "syscall.read": [0]})
+        )
+        sys = SyscallInterface(kern, kern.create_process("app"))
+        with pytest.raises(SyscallInterruptedError):
+            sys.open("/f.txt", O_RDONLY)
+        fd = sys.open("/f.txt", O_RDONLY)
+        with pytest.raises(DiskIOError):
+            sys.read(fd, 4)
+
+    def test_process_bad_fd(self):
+        proc = small_kernel().create_process("app")
+        with pytest.raises(ProcessError):
+            proc.lookup_fd(99)
+
+    def test_process_not_running(self):
+        kern = small_kernel()
+        proc = kern.create_process("app")
+        kern.exit_process(proc)
+        with pytest.raises(ProcessError):
+            proc.require_alive()
+
+
+class TestFileSystemErrors:
+    def test_file_not_found(self):
+        _, fs = rooted_kernel()
+        with pytest.raises(FileNotFoundError_):
+            fs.lookup("missing.txt")
+
+    def test_file_exists(self):
+        _, fs = rooted_kernel()
+        with pytest.raises(FileExistsError_):
+            fs.create_file("f.txt", b"again")
+
+    def test_not_a_directory_parent(self):
+        _, fs = rooted_kernel()
+        with pytest.raises(NotADirectoryError_):
+            fs.create_file("nodir/child.txt", b"x")
+
+    def test_is_a_directory_open(self):
+        kern, _ = rooted_kernel()
+        kern.vfs.mkdir("/etc")
+        proc = kern.create_process("app")
+        with pytest.raises(IsADirectoryError_):
+            kern.vfs.open(proc, "/etc")
+
+    def test_bad_file_descriptor_closed_by_forked_child(self):
+        """fork() shares file-table entries: a close in the child marks
+        the parent's descriptor dead too (the 2.6 semantics)."""
+        kern, _ = rooted_kernel()
+        sys = SyscallInterface(kern, kern.create_process("app"))
+        fd = sys.open("/f.txt", O_RDONLY)
+        child = sys.fork()
+        child.close(fd)
+        with pytest.raises(BadFileDescriptorError):
+            sys.read(fd, 4)
+
+    def test_no_space(self):
+        _, fs = rooted_kernel()
+        fs.capacity_blocks = fs._blocks_used()
+        with pytest.raises(NoSpaceError):
+            fs.create_file("overflow.txt", b"x")
+
+
+class TestCryptoErrors:
+    def test_key_generation_bad_bits(self):
+        with pytest.raises(KeyGenerationError):
+            generate_rsa_key(63)
+
+    def test_encoding_garbage_pem(self):
+        with pytest.raises(EncodingError):
+            pem_decode(b"this is not a pem file")
+
+    def test_signature_mismatch(self, rsa_key_512):
+        good = rsa_key_512.sign(b"message")
+        with pytest.raises(SignatureError):
+            rsa_key_512.verify(b"tampered", good)
+        with pytest.raises(SignatureError):
+            rsa_key_512.verify(b"message", b"short")
+
+    def test_padding_bad_ciphertext(self, rsa_key_256):
+        with pytest.raises(PaddingError):
+            rsa_key_256.decrypt(b"short")
+
+
+class TestSslErrors:
+    def test_bignum_empty_and_double_free(self):
+        proc = small_kernel().create_process("app")
+        with pytest.raises(BignumError):
+            bn_bin2bn(proc, b"")
+        bn = bn_bin2bn(proc, b"\x01\x02")
+        bn_free(bn)
+        with pytest.raises(BignumError):
+            bn_free(bn)
+
+    def test_rsa_struct_missing_vault_key(self):
+        kern = small_kernel(has_key_vault=True)
+        with pytest.raises(RsaStructError):
+            kern.vault.private_op(99, 1)
+
+
+class TestAttackAndWorkloadErrors:
+    def test_attack_rejected_on_fixed_kernel(self):
+        kern = small_kernel(version=(2, 6, 14))
+        with pytest.raises(AttackError):
+            kern.ntty.dump(DeterministicRandom(1))
+
+    def test_workload_misuse(self):
+        sim = Simulation(
+            SimulationConfig(
+                server="openssh", level=ProtectionLevel.NONE,
+                seed=0, key_bits=256, memory_mb=8,
+            )
+        )
+        with pytest.raises(WorkloadError):
+            sim.server.open_connection()  # not started
+
+    def test_connection_rejected_is_raised_under_faults(self):
+        sim = Simulation(
+            SimulationConfig(
+                server="openssh", level=ProtectionLevel.NONE,
+                seed=0, key_bits=256, memory_mb=8,
+                fault_plan=FaultPlan({"app.kill": [0]}),
+            )
+        )
+        sim.start_server()
+        with pytest.raises(ConnectionRejectedError):
+            sim.server.open_connection()

@@ -1,0 +1,161 @@
+"""KeyFlow configuration: what is secret, where it must not go, and
+what counts as cleaning up.
+
+The defaults encode the paper's threat model for this code base:
+
+* **Sources** — calls that mint or recover key material (RSA key
+  generation, PEM/ASN.1 codecs, ``d2i_PrivateKey``, the CRT byte
+  accessors) *plus* every primitive that reads simulated RAM or the
+  swap device back into Python values.  The latter is the soundness
+  anchor for the dynamic⊆static containment argument: once key bytes
+  have been written into :class:`~repro.mem.physmem.PhysicalMemory`,
+  any read of simulated memory may recover them, so statically the
+  read's result must be treated as possibly secret.
+* **Source attributes** — the six CRT part names plus ``pem``: an
+  attribute load like ``key.d`` or ``self.pem`` is key material by
+  construction.
+* **Sinks** — writes into simulated RAM/heap, the swap device, file /
+  page-cache paths, logging, and JSON/CSV/report serialization.  A
+  tainted value reaching a sink is a *flow*; flows are expected in a
+  simulator whose whole point is leaking keys, so CI compares them
+  against a reviewed baseline rather than requiring zero.
+* **Materializers / scrubbers** — for the CFG-based
+  scrub-on-all-paths check: a function that materializes an owned key
+  container (``d2i_privatekey``, ``bn_bin2bn``, ``MontgomeryContext``)
+  must pass it to a scrubber (``rsa_free``, ``bn_clear_free``,
+  ``drop_mont``, a ``free(..., clear=True)``) on every exit path —
+  including exception edges — unless ownership escapes (returned,
+  stored on an object, or handed to a constructor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping
+
+#: Calls that mint key material.  Terminal call name -> source category.
+DEFAULT_SOURCE_CALLS: Mapping[str, str] = {
+    # key generation / codecs
+    "generate_rsa_key": "keygen",
+    "pem_encode": "pem-codec",
+    "pem_decode": "pem-codec",
+    "encode_rsa_private_key": "asn1-codec",
+    "decode_rsa_private_key": "asn1-codec",
+    "d2i_privatekey": "d2i",
+    # CRT byte accessors on RsaKey / RsaStruct / Bignum
+    "part_bytes": "crt-bytes",
+    "d_bytes": "crt-bytes",
+    "p_bytes": "crt-bytes",
+    "q_bytes": "crt-bytes",
+    "to_key": "crt-bytes",
+    "to_bytes": "crt-bytes",
+    # simulated-memory reads: RAM/swap may hold key bytes (the paper's
+    # premise); every read-back is conservatively secret.
+    "read": "memory-read",
+    "read_all": "memory-read",
+    "read_frame": "memory-read",
+    "mem_read": "memory-read",
+    "swap_in": "memory-read",
+    "snapshot": "memory-read",
+    "raw_view": "memory-read",
+    "raw_dump": "memory-read",
+    "read_block_image": "memory-read",
+}
+
+#: Attribute names whose *load* is key material (``key.d``, ``x.pem``).
+DEFAULT_SOURCE_ATTRS: FrozenSet[str] = frozenset(
+    {"d", "p", "q", "dmp1", "dmq1", "iqmp", "pem"}
+)
+
+#: Terminal call name -> sink category.
+DEFAULT_SINK_CALLS: Mapping[str, str] = {
+    # simulated RAM / heap / process memory
+    "write": "memory-write",
+    "write_frame": "memory-write",
+    "mem_write": "memory-write",
+    # swap device
+    "swap_out": "swap",
+    # file / page-cache population
+    "create_file": "pagecache",
+    "write_file": "pagecache",
+    "preload": "pagecache",
+    # logging
+    "print": "logging",
+    "log": "logging",
+    "debug": "logging",
+    "info": "logging",
+    "warning": "logging",
+    "error": "logging",
+    # serialization / report output
+    "dump": "serialization",
+    "dumps": "serialization",
+    "writerow": "serialization",
+    "writerows": "serialization",
+    "write_text": "serialization",
+}
+
+#: Calls that materialize an *owned*, scrubbable key container.
+DEFAULT_MATERIALIZERS: FrozenSet[str] = frozenset(
+    {"d2i_privatekey", "bn_bin2bn", "MontgomeryContext"}
+)
+
+#: Calls that scrub a key container (receiver or any argument).
+DEFAULT_SCRUBBERS: FrozenSet[str] = frozenset(
+    {"rsa_free", "bn_clear_free", "drop_mont", "scrub_slot", "zeroize"}
+)
+
+#: ``free``-style calls that scrub only with ``clear=True``.
+DEFAULT_CLEARING_FREES: FrozenSet[str] = frozenset({"free"})
+
+
+@dataclass(frozen=True)
+class KeyFlowConfig:
+    """One immutable analysis configuration."""
+
+    source_calls: Mapping[str, str] = field(
+        default_factory=lambda: dict(DEFAULT_SOURCE_CALLS)
+    )
+    source_attrs: FrozenSet[str] = DEFAULT_SOURCE_ATTRS
+    sink_calls: Mapping[str, str] = field(
+        default_factory=lambda: dict(DEFAULT_SINK_CALLS)
+    )
+    materializers: FrozenSet[str] = DEFAULT_MATERIALIZERS
+    scrubbers: FrozenSet[str] = DEFAULT_SCRUBBERS
+    clearing_frees: FrozenSet[str] = DEFAULT_CLEARING_FREES
+
+    def without_sources(self) -> "KeyFlowConfig":
+        """A copy with *no* taint sources — used by the containment
+        test to prove the dynamic⊆static check has teeth."""
+        return KeyFlowConfig(
+            source_calls={},
+            source_attrs=frozenset(),
+            sink_calls=dict(self.sink_calls),
+            materializers=self.materializers,
+            scrubbers=self.scrubbers,
+            clearing_frees=self.clearing_frees,
+        )
+
+    def without_sinks(self) -> "KeyFlowConfig":
+        """A copy with no sinks (flows can never be reported)."""
+        return KeyFlowConfig(
+            source_calls=dict(self.source_calls),
+            source_attrs=self.source_attrs,
+            sink_calls={},
+            materializers=self.materializers,
+            scrubbers=self.scrubbers,
+            clearing_frees=self.clearing_frees,
+        )
+
+    def describe(self) -> Dict[str, object]:
+        """Stable JSON-ready description (embedded in reports)."""
+        return {
+            "source_calls": dict(sorted(self.source_calls.items())),
+            "source_attrs": sorted(self.source_attrs),
+            "sink_calls": dict(sorted(self.sink_calls.items())),
+            "materializers": sorted(self.materializers),
+            "scrubbers": sorted(self.scrubbers),
+            "clearing_frees": sorted(self.clearing_frees),
+        }
+
+
+DEFAULT_CONFIG = KeyFlowConfig()

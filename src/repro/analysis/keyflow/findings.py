@@ -1,0 +1,142 @@
+"""KeyFlow findings and the report object.
+
+A :class:`Finding` is one reportable fact.  Its :attr:`baseline_id`
+deliberately excludes line numbers: ``rule:function:detail`` stays
+stable while code above it moves, so the checked-in baseline does not
+drift on unrelated edits.
+
+Rules:
+
+* ``tainted-flow`` — a value carrying key-material taint reaches a
+  sink call (memory write, swap, page cache, logging, serialization).
+* ``missing-scrub`` — an owned key container can leave its function
+  without being scrubbed on some ``return`` or ``raise`` path.
+
+Everything in a :class:`KeyFlowReport` is sorted; rendering the same
+analysis twice is byte-identical (the repo-wide reports convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+RULE_NAMES = ("tainted-flow", "missing-scrub")
+
+_RULE_DESCRIPTIONS: Dict[str, str] = {
+    "tainted-flow": (
+        "Key-material taint reaches a sink (simulated memory, swap, "
+        "page cache, logging, or serialization)."
+    ),
+    "missing-scrub": (
+        "An owned key container is not scrubbed on every exit path, "
+        "including exception edges."
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One static finding, stable across unrelated source edits."""
+
+    rule: str  # one of RULE_NAMES
+    function: str  # fully-qualified: module.qualname
+    rel_path: str
+    line: int
+    detail: str  # stable discriminator within (rule, function)
+    message: str  # human-readable one-liner
+
+    @property
+    def baseline_id(self) -> str:
+        return f"{self.rule}:{self.function}:{self.detail}"
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "function": self.function,
+            "path": self.rel_path,
+            "line": self.line,
+            "detail": self.detail,
+            "message": self.message,
+            "id": self.baseline_id,
+        }
+
+
+def sort_findings(findings: Sequence[Finding]) -> List[Finding]:
+    return sorted(
+        findings, key=lambda f: (f.rule, f.function, f.detail, f.line)
+    )
+
+
+@dataclass
+class KeyFlowReport:
+    """Full analysis output: findings + leak set + provenance."""
+
+    findings: List[Finding]
+    #: Sorted functions where key material is statically live — the
+    #: superset that must contain every KeySan-observed dynamic site.
+    leak_set: List[str]
+    files: List[str]
+    function_count: int
+    config: Dict[str, object]
+
+    def finding_ids(self) -> List[str]:
+        return [finding.baseline_id for finding in self.findings]
+
+    def rule_description(self, rule: str) -> str:
+        return _RULE_DESCRIPTIONS.get(rule, rule)
+
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "tool": "keyflow",
+            "files": list(self.files),
+            "functions": self.function_count,
+            "findings": [finding.to_json_dict() for finding in self.findings],
+            "leak_set": list(self.leak_set),
+            "config": self.config,
+        }
+
+    def to_sarif(self) -> Dict[str, object]:
+        """SARIF 2.1.0 log via the shared exporter (same shape as
+        keylint's)."""
+        from repro.analysis.sarif import sarif_log, sarif_result
+
+        return sarif_log(
+            tool_name="keyflow",
+            rules=dict(_RULE_DESCRIPTIONS),
+            results=[
+                sarif_result(
+                    rule_id=finding.rule,
+                    message=finding.message,
+                    path=finding.rel_path,
+                    line=finding.line,
+                )
+                for finding in self.findings
+            ],
+        )
+
+    def render_text(self) -> str:
+        lines: List[str] = []
+        lines.append("keyflow: static taint analysis of key material")
+        lines.append(
+            f"  {len(self.files)} files, {self.function_count} functions, "
+            f"{len(self.leak_set)} in leak set, "
+            f"{len(self.findings)} findings"
+        )
+        lines.append("")
+        if self.findings:
+            lines.append("findings:")
+            for finding in self.findings:
+                lines.append(
+                    f"  {finding.rel_path}:{finding.line}: "
+                    f"[{finding.rule}] {finding.message}"
+                )
+                lines.append(f"      id: {finding.baseline_id}")
+        else:
+            lines.append("findings: none")
+        lines.append("")
+        lines.append("leak set (functions where key material is live):")
+        for name in self.leak_set:
+            lines.append(f"  {name}")
+        return "\n".join(lines) + "\n"

@@ -214,8 +214,8 @@ class _FileLinter(ast.NodeVisitor):
     # ------------------------------------------------------------------
     # function scope tracking (memalign-mlock is a per-function rule)
     # ------------------------------------------------------------------
-    def _visit_function(self, node) -> None:
-        self._func_stack.append((node.name, [], False))
+    def _visit_scope(self, node, scope_name: str) -> None:
+        self._func_stack.append((scope_name, [], False))
         self.generic_visit(node)
         name, memaligns, has_mlock = self._func_stack.pop()
         if name in MEMALIGN_DEFINERS:
@@ -230,8 +230,17 @@ class _FileLinter(ast.NodeVisitor):
                     f"swappable key page defeats RSA_memory_align",
                 )
 
+    def _visit_function(self, node) -> None:
+        self._visit_scope(node, node.name)
+
     visit_FunctionDef = _visit_function
     visit_AsyncFunctionDef = _visit_function
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        # A lambda is a function scope too: a module-level
+        # ``lambda p: memalign(p, ...)`` must not slip past the
+        # per-function memalign-mlock pairing check.
+        self._visit_scope(node, "<lambda>")
 
     # ------------------------------------------------------------------
     # calls: bn-free, snapshot-scope, memalign-mlock bookkeeping
@@ -391,3 +400,45 @@ def render_report(violations: List[LintViolation]) -> str:
     summary = ", ".join(f"{rule}={count}" for rule, count in sorted(by_rule.items()))
     lines.append(f"keylint: {len(violations)} violations ({summary})")
     return "\n".join(lines)
+
+
+#: One-line rule descriptions for the SARIF rule table.
+RULE_DESCRIPTIONS: Dict[str, str] = {
+    "bn-free": (
+        "bn_free() of a secret-hinted BIGNUM leaves digit bytes in the "
+        "freed chunk; use bn_clear_free()."
+    ),
+    "raw-secret-bytes": (
+        "Raw key bytes retained on a Python object instead of simulated "
+        "memory."
+    ),
+    "snapshot-scope": (
+        "Raw physical-memory view used outside attacks/ and sanitizer/."
+    ),
+    "memalign-mlock": (
+        "Aligned secret-page allocation without an mlock() in the same "
+        "function; the page stays swappable."
+    ),
+    "swallowed-error": (
+        "Simulator fault caught and silently discarded."
+    ),
+}
+
+
+def render_sarif(violations: List[LintViolation]) -> Dict[str, object]:
+    """SARIF 2.1.0 log via the shared exporter (same shape as keyflow)."""
+    from repro.analysis.sarif import sarif_log, sarif_result
+
+    return sarif_log(
+        tool_name="keylint",
+        rules=RULE_DESCRIPTIONS,
+        results=[
+            sarif_result(
+                rule_id=violation.rule,
+                message=violation.message,
+                path=violation.path,
+                line=violation.line,
+            )
+            for violation in violations
+        ],
+    )

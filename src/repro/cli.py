@@ -164,10 +164,21 @@ def cmd_taint(args: argparse.Namespace) -> int:
     return 0 if check.consistent else 1
 
 
+def _emit(text: str, out: Optional[str]) -> None:
+    """Print, or write to ``--out`` when given."""
+    if out:
+        from pathlib import Path
+
+        Path(out).write_text(text, encoding="utf-8")
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
+    import json
     from pathlib import Path
 
-    from repro.analysis.lint import lint_paths, render_report
+    from repro.analysis.lint import lint_paths, render_report, render_sarif
 
     paths = [Path(p) for p in args.paths]
     if not paths:
@@ -178,8 +189,53 @@ def cmd_lint(args: argparse.Namespace) -> int:
     except FileNotFoundError as exc:
         print(exc, file=sys.stderr)
         return 2
-    print(render_report(violations))
+    if args.format == "sarif":
+        _emit(json.dumps(render_sarif(violations), indent=2) + "\n", args.out)
+    else:
+        _emit(render_report(violations) + "\n", args.out)
     return 1 if violations else 0
+
+
+def cmd_keyflow(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.analysis.keyflow import (
+        analyze,
+        compare_baseline,
+        load_baseline,
+        write_baseline,
+    )
+    from repro.analysis.keyflow.baseline import DEFAULT_BASELINE_PATH
+
+    paths = [Path(p) for p in args.paths] if args.paths else None
+    try:
+        report = analyze(paths=paths)
+    except FileNotFoundError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    if args.format == "sarif":
+        _emit(json.dumps(report.to_sarif(), indent=2) + "\n", args.out)
+    elif args.format == "json":
+        _emit(
+            json.dumps(report.to_json_dict(), indent=2, sort_keys=True) + "\n",
+            args.out,
+        )
+    else:
+        _emit(report.render_text(), args.out)
+
+    baseline_path = Path(args.baseline) if args.baseline else DEFAULT_BASELINE_PATH
+    if args.write_baseline:
+        existing = load_baseline(baseline_path) if baseline_path.exists() else {}
+        target = write_baseline(report, baseline_path, existing=existing)
+        print(f"keyflow: baseline written to {target}", file=sys.stderr)
+        return 0
+    if args.check_baseline:
+        drift = compare_baseline(report, load_baseline(baseline_path))
+        print(drift.render_text(), end="", file=sys.stderr)
+        return 0 if drift.ok else 1
+    return 0
 
 
 def _sweep_grids(args: argparse.Namespace):
@@ -579,11 +635,47 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max diagnostics to list individually")
     taint.set_defaults(func=cmd_taint)
 
+    keyflow = sub.add_parser(
+        "keyflow",
+        help="static interprocedural taint analysis of key material",
+    )
+    keyflow.add_argument(
+        "paths", nargs="*",
+        help="files/directories to analyze (default: the repro package)",
+    )
+    keyflow.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default: text)",
+    )
+    keyflow.add_argument(
+        "--out", default=None, help="write the report to a file instead of stdout",
+    )
+    keyflow.add_argument(
+        "--baseline", default=None,
+        help="baseline JSON path (default: the packaged baseline)",
+    )
+    keyflow.add_argument(
+        "--check-baseline", action="store_true",
+        help="exit 1 on drift: any new finding or stale baseline entry",
+    )
+    keyflow.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline from this run (keeps justifications)",
+    )
+    keyflow.set_defaults(func=cmd_keyflow)
+
     lint = sub.add_parser(
         "lint", help="keylint: AST secret-hygiene lint (KeySan static pass)"
     )
     lint.add_argument("paths", nargs="*",
                       help="files or directories (default: the repro package)")
+    lint.add_argument(
+        "--format", choices=("text", "sarif"), default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--out", default=None, help="write the report to a file instead of stdout",
+    )
     lint.set_defaults(func=cmd_lint)
     return parser
 

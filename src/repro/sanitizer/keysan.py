@@ -192,6 +192,24 @@ class KeySan:
         per_site = self.site_stats.setdefault(site, {})
         per_site[tag.name] = per_site.get(tag.name, 0) + count
 
+    def observed_sites(self, prefix: str = "repro.") -> List[str]:
+        """Every call site the sanitizer has attributed secret bytes to:
+        planting sites (``site_stats``) plus every diagnostic *origin*.
+
+        Trigger sites are deliberately excluded — a trigger (the free,
+        the swap-out, the attack read) is a control event at the site
+        that *exposed* the bytes, not a function through which secret
+        data flowed.  The result is the dynamic side of the
+        dynamic ⊆ static containment check against KeyFlow's leak set;
+        ``prefix`` drops synthetic attributions (``attack:*``,
+        test harness frames) that no static view of the package source
+        could contain.
+        """
+        sites = set(self.site_stats)
+        for diagnostic in self.diagnostics:
+            sites.update(diagnostic.origins)
+        return sorted(site for site in sites if site.startswith(prefix))
+
     # ------------------------------------------------------------------
     # PhysicalMemory hooks
     # ------------------------------------------------------------------

@@ -127,6 +127,18 @@ class TaintReport:
     _patterns: Dict[str, bytes] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
+    def observed_sites(self, prefix: str = "repro.") -> List[str]:
+        """Call sites this report attributes secret bytes to: planting
+        sites from ``site_table`` plus all diagnostic origins (trigger
+        sites excluded — they expose bytes, they don't move them).
+        Mirrors :meth:`repro.sanitizer.keysan.KeySan.observed_sites`
+        for workloads that only kept the report."""
+        sites = set(self.site_table)
+        for diagnostic in self.diagnostics:
+            sites.update(diagnostic.origins)
+        return sorted(site for site in sites if site.startswith(prefix))
+
+    # ------------------------------------------------------------------
     # scanner validation
     # ------------------------------------------------------------------
     def cross_check(self, scan_report) -> CrossCheckResult:

@@ -1,0 +1,129 @@
+"""CFG construction: exception edges, finally routing, abrupt exits."""
+
+import ast
+
+from repro.analysis.keyflow.cfg import build_cfg
+
+
+def cfg_of(source: str):
+    tree = ast.parse(source)
+    func = next(
+        n for n in ast.walk(tree)
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    return build_cfg(func)
+
+
+def preds(cfg, index):
+    return {src for src, _ in cfg.preds_of(index)}
+
+
+def stmt_nodes(cfg, type_):
+    return [n for n in cfg.nodes if isinstance(n.stmt, type_)]
+
+
+class TestBasics:
+    def test_straight_line_reaches_exit(self):
+        cfg = cfg_of("def f(x):\n    y = x\n    return y\n")
+        ret = stmt_nodes(cfg, ast.Return)[0]
+        assert (cfg.exit, "normal") in ret.succs
+
+    def test_every_statement_has_exception_edge(self):
+        cfg = cfg_of("def f(x):\n    y = x\n    return y\n")
+        assign = stmt_nodes(cfg, ast.Assign)[0]
+        assert (cfg.raise_exit, "exception") in assign.succs
+
+    def test_if_both_arms_reach_exit(self):
+        cfg = cfg_of(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        b = 2\n"
+        )
+        # both assignments fall through to the function exit
+        for node in stmt_nodes(cfg, ast.Assign):
+            assert (cfg.exit, "normal") in node.succs
+
+    def test_while_has_back_edge(self):
+        cfg = cfg_of("def f(x):\n    while x:\n        x = x - 1\n")
+        header = stmt_nodes(cfg, ast.While)[0]
+        body = stmt_nodes(cfg, ast.Assign)[0]
+        assert (header.index, "normal") in body.succs
+
+
+class TestTryFinally:
+    SRC_RETURN_THROUGH_FINALLY = (
+        "def f(bn):\n"
+        "    try:\n"
+        "        return use(bn)\n"
+        "    finally:\n"
+        "        cleanup(bn)\n"
+    )
+
+    def test_return_routes_through_finally_to_exit(self):
+        cfg = cfg_of(self.SRC_RETURN_THROUGH_FINALLY)
+        ret = stmt_nodes(cfg, ast.Return)[0]
+        cleanup = stmt_nodes(cfg, ast.Expr)[0]
+        # return does NOT jump straight to exit; it enters the finally
+        assert (cfg.exit, "normal") not in ret.succs
+        # and the finally body's last statement reaches exit
+        assert (cfg.exit, "normal") in cleanup.succs
+
+    def test_exception_route_leaves_finally_outward(self):
+        cfg = cfg_of(self.SRC_RETURN_THROUGH_FINALLY)
+        cleanup = stmt_nodes(cfg, ast.Expr)[0]
+        assert (cfg.raise_exit, "exception") in cleanup.succs
+
+    def test_no_spurious_finally_exit_without_abrupt_route(self):
+        # When nothing returns inside the try, the finally body's
+        # normal successor is the statement AFTER the try — never a
+        # direct edge to exit (which would create false scrub
+        # violations for the scrub-after-try shape).
+        cfg = cfg_of(
+            "def f(bn):\n"
+            "    try:\n"
+            "        use(bn)\n"
+            "    finally:\n"
+            "        log()\n"
+            "    scrub(bn)\n"
+            "    return None\n"
+        )
+        exprs = stmt_nodes(cfg, ast.Expr)
+        log_node = next(
+            n for n in exprs if getattr(n.stmt.value.func, "id", "") == "log"
+        )
+        scrub_node = next(
+            n for n in exprs if getattr(n.stmt.value.func, "id", "") == "scrub"
+        )
+        assert (scrub_node.index, "normal") in log_node.succs
+        assert (cfg.exit, "normal") not in log_node.succs
+
+
+class TestHandlers:
+    def test_handler_body_reachable_from_dispatch(self):
+        cfg = cfg_of(
+            "def f(x):\n"
+            "    try:\n"
+            "        risky(x)\n"
+            "    except ValueError:\n"
+            "        x = 0\n"
+            "    return x\n"
+        )
+        dispatch = next(n for n in cfg.nodes if n.kind == "dispatch")
+        handler = stmt_nodes(cfg, ast.ExceptHandler)[0]
+        assert (handler.index, "normal") in dispatch.succs
+        # unmatched exceptions still escape
+        assert (cfg.raise_exit, "exception") in dispatch.succs
+
+    def test_break_exits_loop(self):
+        cfg = cfg_of(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        if x:\n"
+            "            break\n"
+            "    return None\n"
+        )
+        brk = stmt_nodes(cfg, ast.Break)[0]
+        join = next(n for n in cfg.nodes if n.kind == "join")
+        assert (join.index, "normal") in brk.succs

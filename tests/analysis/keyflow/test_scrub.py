@@ -1,0 +1,124 @@
+"""Scrub-on-all-paths: gens, kills, escapes, and exception edges."""
+
+from repro.analysis.keyflow import analyze
+
+
+def run(tmp_path, source):
+    (tmp_path / "mod.py").write_text(source, encoding="utf-8")
+    return analyze(paths=[tmp_path])
+
+
+def scrub_ids(report):
+    return {f.baseline_id for f in report.findings if f.rule == "missing-scrub"}
+
+
+class TestViolations:
+    def test_unscrubbed_on_straight_return(self, tmp_path):
+        report = run(
+            tmp_path,
+            "def f(process, data):\n"
+            "    bn = bn_bin2bn(process, data)\n"
+            "    use(bn)\n",
+        )
+        ids = scrub_ids(report)
+        assert "missing-scrub:mod.f:bn:bn_bin2bn:return" in ids
+        # use() can raise after the binding: the raise path leaks too
+        assert "missing-scrub:mod.f:bn:bn_bin2bn:raise" in ids
+
+    def test_scrub_only_on_happy_path_still_flags_raise(self, tmp_path):
+        report = run(
+            tmp_path,
+            "def f(process, data):\n"
+            "    bn = bn_bin2bn(process, data)\n"
+            "    use(bn)\n"
+            "    bn_clear_free(bn)\n",
+        )
+        ids = scrub_ids(report)
+        assert "missing-scrub:mod.f:bn:bn_bin2bn:return" not in ids
+        assert "missing-scrub:mod.f:bn:bn_bin2bn:raise" in ids
+
+
+class TestCleanShapes:
+    def test_try_finally_scrub_is_clean(self, tmp_path):
+        # The canonical shape: materialize, use, always scrub.  The
+        # materializing call's own failure window (exception before the
+        # binding exists) must NOT be blamed.
+        report = run(
+            tmp_path,
+            "def f(process, data):\n"
+            "    bn = bn_bin2bn(process, data)\n"
+            "    try:\n"
+            "        use(bn)\n"
+            "    finally:\n"
+            "        bn_clear_free(bn)\n",
+        )
+        assert scrub_ids(report) == set()
+
+    def test_scrub_after_try_finally_is_clean(self, tmp_path):
+        # Regression for finally-routing: a try/finally BEFORE the
+        # scrub must not invent a path that skips the scrub.
+        report = run(
+            tmp_path,
+            "def f(process, data):\n"
+            "    bn = bn_bin2bn(process, data)\n"
+            "    try:\n"
+            "        use(bn)\n"
+            "    except ValueError:\n"
+            "        bn_clear_free(bn)\n"
+            "        raise\n"
+            "    bn_clear_free(bn)\n",
+        )
+        assert "missing-scrub:mod.f:bn:bn_bin2bn:return" not in scrub_ids(report)
+
+    def test_clearing_free_kills(self, tmp_path):
+        report = run(
+            tmp_path,
+            "def f(process, data, heap):\n"
+            "    bn = bn_bin2bn(process, data)\n"
+            "    try:\n"
+            "        use(bn)\n"
+            "    finally:\n"
+            "        free(bn, clear=True)\n",
+        )
+        assert scrub_ids(report) == set()
+
+    def test_nonclearing_free_does_not_kill(self, tmp_path):
+        report = run(
+            tmp_path,
+            "def f(process, data, heap):\n"
+            "    bn = bn_bin2bn(process, data)\n"
+            "    free(bn, clear=False)\n",
+        )
+        assert "missing-scrub:mod.f:bn:bn_bin2bn:return" in scrub_ids(report)
+
+
+class TestEscapes:
+    def test_returning_transfers_ownership(self, tmp_path):
+        report = run(
+            tmp_path,
+            "def make(process, data):\n"
+            "    bn = bn_bin2bn(process, data)\n"
+            "    return bn\n",
+        )
+        assert "missing-scrub:mod.make:bn:bn_bin2bn:return" not in scrub_ids(report)
+
+    def test_storing_on_object_transfers_ownership(self, tmp_path):
+        report = run(
+            tmp_path,
+            "def attach(self, process, data):\n"
+            "    bn = bn_bin2bn(process, data)\n"
+            "    self.bn = bn\n",
+        )
+        assert scrub_ids(report) == set()
+
+    def test_escape_does_not_cover_earlier_raise_window(self, tmp_path):
+        # Ownership transfers at the store; an exception BEFORE the
+        # store still leaks the container.
+        report = run(
+            tmp_path,
+            "def attach(self, process, data):\n"
+            "    bn = bn_bin2bn(process, data)\n"
+            "    use(bn)\n"
+            "    self.bn = bn\n",
+        )
+        assert "missing-scrub:mod.attach:bn:bn_bin2bn:raise" in scrub_ids(report)

@@ -1,0 +1,12 @@
+"""Fixture: memalign-mlock must look inside ``async def`` bodies."""
+
+
+async def alloc_key_page_async(heap, page_size, total):
+    region = heap.memalign(page_size, total)      # flagged: never mlocked
+    return region
+
+
+async def alloc_key_page_async_pinned(process, page_size, total):
+    region = process.heap.memalign(page_size, total)   # clean: mlocked below
+    process.mm.mlock(region, total)
+    return region

@@ -1,0 +1,19 @@
+"""Fixture: memalign-mlock must look inside ``lambda`` bodies — a
+module-level lambda has no enclosing ``def`` scope to attribute the
+allocation to, so a linter that only tracks FunctionDef misses it."""
+
+alloc_swappable = lambda heap, page_size, total: heap.memalign(  # noqa: E731
+    page_size, total                              # flagged: never mlocked
+)
+
+
+def make_allocator(heap):
+    # A lambda nested in a function must be its own scope: the mlock
+    # below belongs to make_allocator, not to the lambda.
+    return lambda size: heap.memalign(4096, size)  # flagged
+
+
+def pinned_wrapper(process, total):
+    region = process.heap.memalign(4096, total)    # clean: mlocked below
+    process.mm.mlock(region, total)
+    return region

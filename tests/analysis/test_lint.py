@@ -53,6 +53,19 @@ class TestRulesFire:
         # Recording handlers and non-Repro exception types stay clean.
         assert all(v.line < 19 for v in violations)
 
+    def test_memalign_rule_scans_async_def_bodies(self):
+        violations = lint_file(FIXTURES / "bad_async_memalign.py")
+        assert rules_in(violations) == {"memalign-mlock"}
+        assert len(violations) == 1
+        assert "alloc_key_page_async" in violations[0].message
+
+    def test_memalign_rule_scans_lambda_bodies(self):
+        violations = lint_file(FIXTURES / "bad_lambda_memalign.py")
+        assert rules_in(violations) == {"memalign-mlock"}
+        # the module-level lambda AND the lambda nested in a function
+        assert len(violations) == 2
+        assert all("<lambda>" in v.message for v in violations)
+
     def test_every_rule_has_a_firing_fixture(self):
         violations = lint_paths([FIXTURES])
         assert rules_in(violations) == set(RULE_NAMES)

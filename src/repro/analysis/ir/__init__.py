@@ -1,0 +1,39 @@
+"""Shared static-analysis infrastructure: project model + CFGs.
+
+Both whole-program analyzers — KeyFlow (may-taint dataflow) and
+KeyState (protocol typestate) — run over the *same* program
+representation, so their results are directly comparable and a fix to
+call resolution or exception-edge routing benefits both:
+
+* :mod:`repro.analysis.ir.project` — the :class:`Project` loader:
+  modules, functions named exactly like the runtime's
+  ``f"{module}.{co_qualname}"``, and the name-based call graph;
+* :mod:`repro.analysis.ir.cfg` — per-function control-flow graphs
+  with exception edges and finally-aware abrupt-exit routing.
+
+This package grew out of ``analysis/keyflow/`` when KeyState arrived;
+it holds representation only — analysis semantics (taint configs,
+protocol automata) stay with their analyzers.
+"""
+
+from repro.analysis.ir.cfg import CFG, CFGNode, build_cfg
+from repro.analysis.ir.project import (
+    FunctionInfo,
+    Project,
+    call_terminal,
+    discover_files,
+    iter_own_nodes,
+    module_name_for,
+)
+
+__all__ = [
+    "CFG",
+    "CFGNode",
+    "FunctionInfo",
+    "Project",
+    "build_cfg",
+    "call_terminal",
+    "discover_files",
+    "iter_own_nodes",
+    "module_name_for",
+]

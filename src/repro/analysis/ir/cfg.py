@@ -19,7 +19,11 @@ header expressions of control constructs, plus three synthetic nodes:
   via an ``exception`` edge.  Because one body serves all routes, the
   graph merges paths that are distinct at runtime — a *may*-analysis
   over it can over-report but never under-report, the sound direction
-  for both the taint pass and the scrub-on-all-paths check.
+  for the taint pass, the scrub-on-all-paths check, and KeyState's
+  typestate engine alike.
+
+Shared infrastructure: both KeyFlow and KeyState build their per-
+function graphs here.
 """
 
 from __future__ import annotations

@@ -16,9 +16,13 @@ the indexes the dataflow engine needs:
   (re-analysis targets when the field becomes tainted).
 
 Call resolution is *name-based and deliberately coarse*: a call may
-resolve to several candidate functions, and taint flows into all of
-them.  Coarseness costs precision, never soundness — the containment
-test only works because resolution over-approximates.
+resolve to several candidate functions, and analysis facts flow into
+all of them.  Coarseness costs precision, never soundness — the
+dynamic ⊆ static containment tests only work because resolution
+over-approximates.
+
+This module is shared infrastructure: KeyFlow's taint pass and
+KeyState's typestate checker both analyze the Project it builds.
 """
 
 from __future__ import annotations
@@ -139,7 +143,7 @@ def discover_files(paths: Sequence[Path]) -> List[Tuple[Path, Path]]:
         elif entry.is_file():
             pairs.append((entry.parent, entry))
         else:
-            raise FileNotFoundError(f"keyflow: no such file or directory: {entry}")
+            raise FileNotFoundError(f"analysis: no such file or directory: {entry}")
     return pairs
 
 

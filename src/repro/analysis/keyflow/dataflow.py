@@ -29,9 +29,9 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.analysis.keyflow.cfg import CFG, build_cfg
+from repro.analysis.ir.cfg import CFG, build_cfg
 from repro.analysis.keyflow.config import KeyFlowConfig
-from repro.analysis.keyflow.project import FunctionInfo, Project, call_terminal
+from repro.analysis.ir.project import FunctionInfo, Project, call_terminal
 
 
 @dataclass

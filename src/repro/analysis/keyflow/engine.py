@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.analysis.keyflow.config import DEFAULT_CONFIG, KeyFlowConfig
 from repro.analysis.keyflow.dataflow import TaintAnalysis
 from repro.analysis.keyflow.findings import Finding, KeyFlowReport, sort_findings
-from repro.analysis.keyflow.project import Project
+from repro.analysis.ir.project import Project
 from repro.analysis.keyflow.scrub import check_function
 
 #: The package's own source tree (default analysis root).

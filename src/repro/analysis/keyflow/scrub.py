@@ -33,9 +33,9 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.analysis.keyflow.cfg import CFG
+from repro.analysis.ir.cfg import CFG
 from repro.analysis.keyflow.config import KeyFlowConfig
-from repro.analysis.keyflow.project import FunctionInfo, Project, call_terminal
+from repro.analysis.ir.project import FunctionInfo, Project, call_terminal
 
 
 @dataclass(frozen=True)

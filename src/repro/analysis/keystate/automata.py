@@ -1,0 +1,392 @@
+"""Protocol automata for the mitigation-API lifecycles, declared as data.
+
+Each :class:`Automaton` is a DFA over abstract object states.  The
+engine (static) and the KeySan lifecycle monitor (dynamic) both
+interpret the *same* automata, which is what makes the dynamic ⊆
+static containment argument meaningful: a runtime ordering violation
+is, by construction, a transition the static engine also models.
+
+Three lifecycles from the paper are encoded:
+
+* ``rsa-key`` — the RSA private key:
+  ``loaded → aligned → mlocked → serving → scrubbed → freed``, with
+  ``drop_mont(clear=True)`` required before freeing a key that served
+  requests unaligned (the COW-child contract), and double-free /
+  use-after-free as error transitions;
+* ``key-file`` — the on-disk key file:
+  ``opened(O_NOCACHE) → read → evicted``; opening a key file without
+  ``O_NOCACHE`` is flagged at INTEGRATED level (the page cache keeps a
+  plaintext copy otherwise);
+* ``secret-temp`` — snapshot/BN temporaries:
+  acquire → use → zeroize on **all** paths, including exception edges
+  (a raise that skips ``bn_clear_free`` leaks the temporary).
+
+Events are mapped from call patterns (:class:`EventPattern`): a
+terminal callee name plus which argument position (or the attribute
+receiver) carries the tracked object, with an optional keyword-
+argument gate (``drop_mont(clear=True)`` vs ``drop_mont()``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Sequence, Tuple
+
+#: Argument-position marker: the object is the attribute receiver
+#: (``rsa.drop_mont(...)`` — the object is ``rsa``).
+RECEIVER = -1
+
+
+@dataclass(frozen=True)
+class EventPattern:
+    """One call shape that emits a protocol event.
+
+    ``terminal`` is the callee's terminal name (``a.b.f()`` -> ``f``).
+    ``arg`` says where the tracked object sits: a 0-based positional
+    index, or :data:`RECEIVER` for the attribute receiver.  When
+    ``kwarg`` is set, the pattern matches only if the keyword argument
+    is (not) the constant ``True`` — ``kwarg_true`` selects which.
+    Patterns are tried in declaration order; the first match wins, so
+    a gated pattern must precede its ungated fallback.
+    """
+
+    terminal: str
+    event: str
+    arg: int = 0
+    kwarg: Optional[str] = None
+    kwarg_true: bool = True
+
+    def matches_call(self, node: ast.Call) -> bool:
+        if self.kwarg is None:
+            return True
+        for kw in node.keywords:
+            if kw.arg == self.kwarg:
+                is_true = (
+                    isinstance(kw.value, ast.Constant) and kw.value.value is True
+                )
+                return is_true == self.kwarg_true
+        return not self.kwarg_true  # absent kwarg defaults to False
+
+
+@dataclass(frozen=True)
+class Transition:
+    """``(state, event) -> target``, optionally reporting a rule."""
+
+    state: str
+    event: str
+    target: str
+    report: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Obligation:
+    """A state the object must *not* be in at function exit."""
+
+    state: str
+    report: str
+    #: Report also on the exceptional exit (raise-exit), not only the
+    #: normal one.
+    on_exception: bool = True
+
+
+@dataclass(frozen=True)
+class Automaton:
+    """One protocol DFA, interpreted by both KeyState and KeySan."""
+
+    name: str
+    #: All abstract states (for validation; transitions must stay inside).
+    states: FrozenSet[str]
+    #: States a freshly created object may start in.
+    initial: FrozenSet[str]
+    #: Call patterns that *create* a tracked object: terminal name ->
+    #: initial state, or a special spec — ``"@receiver"`` (copy the
+    #: receiver's states: COW views) / ``"@flags:N"`` (decide from the
+    #: flags expression at positional arg N: O_NOCACHE discipline).
+    creators: Tuple[Tuple[str, str], ...]
+    events: Tuple[EventPattern, ...]
+    transitions: Tuple[Transition, ...]
+    obligations: Tuple[Obligation, ...] = ()
+    #: Runtime creation events for the KeySan lifecycle monitor:
+    #: ``(event, initial_state, report_rule_or_None)``.  The static
+    #: engine decides creation states from call/flags patterns; the
+    #: dynamic side is told what actually happened.
+    creation_events: Tuple[Tuple[str, str, Optional[str]], ...] = ()
+    #: rule name -> human description (also feeds SARIF rule metadata).
+    rules: Dict[str, str] = field(default_factory=dict)
+    #: Rules only reported when the config enables the corresponding
+    #: protection level (e.g. keyfile-no-nocache at INTEGRATED).
+    integrated_rules: FrozenSet[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        for state in self.initial:
+            if state not in self.states:
+                raise ValueError(f"{self.name}: initial state {state!r} unknown")
+        for terminal, spec in self.creators:
+            if not spec.startswith("@") and spec not in self.states:
+                raise ValueError(
+                    f"{self.name}: creator {terminal!r} starts in unknown state {spec!r}"
+                )
+        event_names = {pattern.event for pattern in self.events}
+        for tr in self.transitions:
+            if tr.state not in self.states or tr.target not in self.states:
+                raise ValueError(
+                    f"{self.name}: transition {tr.state}--{tr.event}-->"
+                    f"{tr.target} leaves the state set"
+                )
+            if tr.event not in event_names:
+                raise ValueError(f"{self.name}: transition on unknown event {tr.event!r}")
+            if tr.report is not None and tr.report not in self.rules:
+                raise ValueError(f"{self.name}: transition reports unknown rule {tr.report!r}")
+        for ob in self.obligations:
+            if ob.state not in self.states:
+                raise ValueError(f"{self.name}: obligation on unknown state {ob.state!r}")
+            if ob.report not in self.rules:
+                raise ValueError(f"{self.name}: obligation reports unknown rule {ob.report!r}")
+        for rule in self.integrated_rules:
+            if rule not in self.rules:
+                raise ValueError(f"{self.name}: integrated rule {rule!r} unknown")
+
+    # ------------------------------------------------------------------
+    def step(self, state: str, event: str) -> Tuple[str, Optional[str]]:
+        """One DFA step: ``(new_state, rule_or_None)``.  Unmapped
+        ``(state, event)`` pairs self-loop without reporting — the
+        automaton constrains only the orderings it declares."""
+        for tr in self.transitions:
+            if tr.state == state and tr.event == event:
+                return tr.target, tr.report
+        return state, None
+
+    def event_for_terminal(
+        self, terminal: str, node: Optional[ast.Call] = None
+    ) -> Optional[EventPattern]:
+        """First declared pattern matching this callee (and call shape)."""
+        for pattern in self.events:
+            if pattern.terminal != terminal:
+                continue
+            if node is None or pattern.matches_call(node):
+                return pattern
+        return None
+
+    def creator_state(self, terminal: str) -> Optional[str]:
+        for name, state in self.creators:
+            if name == terminal:
+                return state
+        return None
+
+
+# ----------------------------------------------------------------------
+# rsa-key: the central lifecycle from the paper's Section on RSA
+# private-key protection.
+# ----------------------------------------------------------------------
+RSA_KEY = Automaton(
+    name="rsa-key",
+    states=frozenset(
+        {
+            "loaded",
+            "aligned",
+            "mlocked",
+            "serving",
+            "serving-unaligned",
+            "scrubbed",
+            "vaulted",
+            "freed",
+        }
+    ),
+    initial=frozenset({"loaded"}),
+    creators=(
+        ("RsaStruct", "loaded"),
+        # a COW view starts in whatever state its parent is in
+        ("view_in", "@receiver"),
+    ),
+    events=(
+        EventPattern("rsa_memory_align", "align", arg=0),
+        EventPattern("mlock", "mlock", arg=0),
+        EventPattern("mlock2", "mlock", arg=0),
+        EventPattern("rsa_private_operation", "serve", arg=0),
+        EventPattern("offload_to_vault", "offload", arg=0),
+        EventPattern("drop_mont", "mont_scrub", arg=RECEIVER, kwarg="clear", kwarg_true=True),
+        EventPattern("drop_mont", "mont_drop", arg=RECEIVER, kwarg="clear", kwarg_true=False),
+        EventPattern("rsa_free", "free", arg=RECEIVER),
+        EventPattern("part_bytes", "use", arg=RECEIVER),
+        EventPattern("to_key", "use", arg=RECEIVER),
+    ),
+    transitions=(
+        # the intended path
+        Transition("loaded", "align", "aligned"),
+        Transition("loaded", "offload", "vaulted"),
+        Transition("loaded", "free", "freed"),
+        Transition("loaded", "serve", "serving-unaligned", report="serve-before-align"),
+        Transition("aligned", "mlock", "mlocked"),
+        Transition("aligned", "serve", "serving"),
+        Transition("aligned", "offload", "vaulted"),
+        Transition("aligned", "free", "freed"),
+        Transition("aligned", "align", "aligned", report="double-align"),
+        Transition("mlocked", "serve", "serving"),
+        Transition("mlocked", "offload", "vaulted"),
+        Transition("mlocked", "free", "freed"),
+        Transition("serving", "free", "freed"),
+        Transition("serving", "offload", "vaulted"),
+        Transition("serving", "align", "serving", report="double-align"),
+        # served while unaligned: montgomery cache now holds CRT
+        # private material in unlocked heap pages — the COW-child
+        # contract requires drop_mont(clear=True) before free.
+        Transition("serving-unaligned", "mont_scrub", "scrubbed"),
+        Transition("serving-unaligned", "mont_drop", "scrubbed", report="mont-drop-unscrubbed"),
+        Transition("serving-unaligned", "free", "freed", report="free-unscrubbed-mont"),
+        Transition("serving-unaligned", "align", "aligned"),  # align scrubs mont
+        Transition("serving-unaligned", "offload", "vaulted"),  # offload scrubs mont
+        Transition("scrubbed", "align", "aligned"),
+        Transition("scrubbed", "free", "freed"),
+        Transition("scrubbed", "offload", "vaulted"),
+        Transition("scrubbed", "serve", "serving-unaligned", report="serve-before-align"),
+        Transition("vaulted", "serve", "vaulted"),  # vault serves via handle
+        Transition("vaulted", "free", "freed"),
+        # error states
+        Transition("freed", "free", "freed", report="double-free"),
+        Transition("freed", "serve", "freed", report="use-after-free"),
+        Transition("freed", "use", "freed", report="use-after-free"),
+        Transition("freed", "align", "freed", report="use-after-free"),
+        Transition("freed", "offload", "freed", report="use-after-free"),
+        # rsa_free internally drops the mont cache after marking the
+        # struct freed; that implementation detail is not a violation.
+        Transition("freed", "mont_drop", "freed"),
+        Transition("freed", "mont_scrub", "freed"),
+    ),
+    creation_events=(("load", "loaded", None),),
+    rules={
+        "serve-before-align": (
+            "RSA key serves a private operation before rsa_memory_align(); "
+            "CRT parts and the Montgomery cache live in unlocked, "
+            "swappable heap pages while serving"
+        ),
+        "free-unscrubbed-mont": (
+            "rsa_free() of a key that served unaligned, without a prior "
+            "drop_mont(clear=True); stock free leaves Montgomery "
+            "constants (recoverable to the key) in freed heap memory"
+        ),
+        "mont-drop-unscrubbed": (
+            "drop_mont() without clear=True on a key that served "
+            "unaligned; the cache is released but not zeroized"
+        ),
+        "double-align": "rsa_memory_align() on an already-aligned key (raises at runtime)",
+        "double-free": "rsa_free() on an already-freed key",
+        "use-after-free": "operation on a freed RSA struct",
+    },
+)
+
+
+# ----------------------------------------------------------------------
+# key-file: O_NOCACHE discipline for the on-disk key file.
+# ----------------------------------------------------------------------
+KEY_FILE = Automaton(
+    name="key-file",
+    states=frozenset(
+        {
+            "opened-nocache",
+            "opened-cached",
+            "read-nocache",
+            "read-cached",
+            "evicted",
+            "closed-cached",
+        }
+    ),
+    initial=frozenset({"opened-nocache", "opened-cached"}),
+    creators=(
+        # initial state decided by a static look at the flags argument
+        ("open", "@flags:1"),
+        ("_open_retrying", "@flags:2"),
+    ),
+    events=(
+        EventPattern("read_all", "read", arg=0),
+        EventPattern("read", "read", arg=0),
+        EventPattern("close", "close", arg=0),
+        EventPattern("evict_file", "evict", arg=0),
+    ),
+    transitions=(
+        Transition("opened-nocache", "read", "read-nocache"),
+        Transition("opened-cached", "read", "read-cached"),
+        Transition("read-nocache", "close", "evicted"),
+        Transition("opened-nocache", "close", "evicted"),
+        Transition("read-cached", "close", "closed-cached"),
+        Transition("opened-cached", "close", "closed-cached"),
+        Transition("read-cached", "evict", "evicted"),
+        Transition("closed-cached", "evict", "evicted"),
+    ),
+    creation_events=(
+        ("open_nocache", "opened-nocache", None),
+        ("open_cached", "opened-cached", "keyfile-no-nocache"),
+    ),
+    obligations=(
+        Obligation("opened-nocache", "keyfile-open-escapes"),
+        Obligation("opened-cached", "keyfile-open-escapes"),
+        Obligation("read-nocache", "keyfile-open-escapes"),
+        Obligation("read-cached", "keyfile-open-escapes"),
+    ),
+    rules={
+        "keyfile-no-nocache": (
+            "key file opened without O_NOCACHE; the page cache retains "
+            "a plaintext copy of the PEM after the process exits "
+            "(INTEGRATED-level requirement)"
+        ),
+        "keyfile-open-escapes": (
+            "key-file descriptor not closed on every path; the cached "
+            "pages are never eligible for eviction"
+        ),
+    },
+    integrated_rules=frozenset({"keyfile-no-nocache"}),
+)
+
+
+# ----------------------------------------------------------------------
+# secret-temp: snapshot / BN temporaries must be zeroized on all paths.
+# ----------------------------------------------------------------------
+SECRET_TEMP = Automaton(
+    name="secret-temp",
+    states=frozenset({"held", "released", "escaped"}),
+    initial=frozenset({"held"}),
+    creators=(
+        ("bn_bin2bn", "held"),
+        ("snapshot", "held"),
+    ),
+    events=(
+        EventPattern("bn_clear_free", "zeroize", arg=0),
+        EventPattern("zeroize", "zeroize", arg=0),
+        EventPattern("bn_free", "free_raw", arg=0),
+    ),
+    transitions=(
+        Transition("held", "zeroize", "released"),
+        Transition("held", "free_raw", "released", report="temp-freed-unscrubbed"),
+        Transition("released", "zeroize", "released"),
+    ),
+    creation_events=(("acquire", "held", None),),
+    obligations=(Obligation("held", "temp-unscrubbed"),),
+    rules={
+        "temp-unscrubbed": (
+            "secret temporary (BN / snapshot) still held at function "
+            "exit on some path — including exception edges — without "
+            "bn_clear_free/zeroize"
+        ),
+        "temp-freed-unscrubbed": (
+            "secret temporary released with bn_free() instead of "
+            "bn_clear_free(); the bytes stay in freed heap memory"
+        ),
+    },
+)
+
+
+#: The shipped automata, in report order.
+AUTOMATA: Tuple[Automaton, ...] = (RSA_KEY, KEY_FILE, SECRET_TEMP)
+
+
+def automata_by_name(
+    names: Optional[Sequence[str]] = None,
+) -> Tuple[Automaton, ...]:
+    """Select shipped automata (ablation hook for the teeth tests)."""
+    if names is None:
+        return AUTOMATA
+    index = {a.name: a for a in AUTOMATA}
+    unknown = [n for n in names if n not in index]
+    if unknown:
+        raise ValueError(f"unknown automata: {', '.join(sorted(unknown))}")
+    return tuple(index[n] for n in names)

@@ -1,8 +1,8 @@
-"""KeyFlow's reviewed-findings baseline.
+"""KeyState's reviewed-findings baseline.
 
 Drift semantics (NEW / STALE, non-empty justifications, no blanket
 suppressions) live in the shared :mod:`repro.analysis.baseline`; this
-module just binds them to the ``keyflow`` tool name and the baseline
+module just binds them to the ``keystate`` tool name and the baseline
 file shipped next to the package.
 """
 
@@ -13,7 +13,7 @@ from typing import Dict, Optional
 
 from repro.analysis.baseline import BaselineDrift
 from repro.analysis import baseline as _shared
-from repro.analysis.keyflow.findings import KeyFlowReport
+from repro.analysis.keystate.findings import KeyStateReport
 
 __all__ = [
     "BaselineDrift",
@@ -32,13 +32,13 @@ def load_baseline(path: Optional[Path] = None) -> Dict[str, str]:
 
 
 def compare_baseline(
-    report: KeyFlowReport, baseline: Dict[str, str]
+    report: KeyStateReport, baseline: Dict[str, str]
 ) -> BaselineDrift:
-    return _shared.compare_baseline(report, baseline, tool="keyflow")
+    return _shared.compare_baseline(report, baseline, tool="keystate")
 
 
 def write_baseline(
-    report: KeyFlowReport,
+    report: KeyStateReport,
     path: Optional[Path] = None,
     existing: Optional[Dict[str, str]] = None,
 ) -> Path:
@@ -46,5 +46,5 @@ def write_baseline(
         report,
         path if path is not None else DEFAULT_BASELINE_PATH,
         existing=existing,
-        tool="keyflow",
+        tool="keystate",
     )

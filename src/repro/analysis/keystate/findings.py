@@ -1,0 +1,159 @@
+"""KeyState findings and the report object.
+
+A :class:`Finding` is one typestate violation.  Its
+:attr:`baseline_id` deliberately excludes line numbers:
+``rule:function:detail`` stays stable while code above it moves, so
+the checked-in baseline does not drift on unrelated edits.
+
+Unlike KeyFlow, every finding carries a **witness**: the in-function
+event trace (CFG steps, innermost last) plus the caller chain that
+establishes the object's entry state — enough to replay the violation
+by hand.
+
+Everything in a :class:`KeyStateReport` is sorted; rendering the same
+analysis twice is byte-identical (the repo-wide reports convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class WitnessStep:
+    """One step of a witness path."""
+
+    function: str  # fully-qualified: module.qualname
+    rel_path: str
+    line: int
+    #: What happened here: "call" (caller chain), an event name, or
+    #: "create".
+    action: str
+    #: Typestate after this step ("" for caller-chain steps).
+    state: str = ""
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "function": self.function,
+            "path": self.rel_path,
+            "line": self.line,
+            "action": self.action,
+            "state": self.state,
+        }
+
+    def render(self) -> str:
+        suffix = f" -> {self.state}" if self.state else ""
+        return f"{self.rel_path}:{self.line} [{self.function}] {self.action}{suffix}"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One typestate violation, stable across unrelated source edits."""
+
+    protocol: str  # automaton name, e.g. "rsa-key"
+    rule: str  # automaton rule name, e.g. "serve-before-align"
+    function: str  # fully-qualified: module.qualname
+    rel_path: str
+    line: int
+    detail: str  # stable discriminator within (rule, function)
+    message: str  # human-readable one-liner
+    witness: Tuple[WitnessStep, ...] = field(default_factory=tuple)
+
+    @property
+    def baseline_id(self) -> str:
+        return f"{self.rule}:{self.function}:{self.detail}"
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "protocol": self.protocol,
+            "rule": self.rule,
+            "function": self.function,
+            "path": self.rel_path,
+            "line": self.line,
+            "detail": self.detail,
+            "message": self.message,
+            "id": self.baseline_id,
+            "witness": [step.to_json_dict() for step in self.witness],
+        }
+
+
+def sort_findings(findings: Sequence[Finding]) -> List[Finding]:
+    return sorted(
+        findings,
+        key=lambda f: (f.protocol, f.rule, f.function, f.detail, f.line),
+    )
+
+
+@dataclass
+class KeyStateReport:
+    """Full analysis output: findings + provenance."""
+
+    findings: List[Finding]
+    files: List[str]
+    function_count: int
+    #: Sorted automaton names that ran (ablations shrink this).
+    protocols: List[str]
+    #: rule name -> description, from the automata that ran.
+    rule_descriptions: Dict[str, str]
+    config: Dict[str, object]
+
+    def finding_ids(self) -> List[str]:
+        return [finding.baseline_id for finding in self.findings]
+
+    def rule_description(self, rule: str) -> str:
+        return self.rule_descriptions.get(rule, rule)
+
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "tool": "keystate",
+            "files": list(self.files),
+            "functions": self.function_count,
+            "protocols": list(self.protocols),
+            "findings": [finding.to_json_dict() for finding in self.findings],
+            "config": self.config,
+        }
+
+    def to_sarif(self) -> Dict[str, object]:
+        """SARIF 2.1.0 log via the shared exporter (same shape as
+        keylint's and keyflow's)."""
+        from repro.analysis.sarif import sarif_log, sarif_result
+
+        return sarif_log(
+            tool_name="keystate",
+            rules=dict(sorted(self.rule_descriptions.items())),
+            results=[
+                sarif_result(
+                    rule_id=finding.rule,
+                    message=finding.message,
+                    path=finding.rel_path,
+                    line=finding.line,
+                )
+                for finding in self.findings
+            ],
+        )
+
+    def render_text(self) -> str:
+        lines: List[str] = []
+        lines.append("keystate: typestate verification of the mitigation-API lifecycle")
+        lines.append(
+            f"  {len(self.files)} files, {self.function_count} functions, "
+            f"{len(self.protocols)} protocols, {len(self.findings)} findings"
+        )
+        lines.append("")
+        if self.findings:
+            lines.append("findings:")
+            for finding in self.findings:
+                lines.append(
+                    f"  {finding.rel_path}:{finding.line}: "
+                    f"[{finding.protocol}/{finding.rule}] {finding.message}"
+                )
+                lines.append(f"      id: {finding.baseline_id}")
+                if finding.witness:
+                    lines.append("      witness:")
+                    for step in finding.witness:
+                        lines.append(f"        {step.render()}")
+        else:
+            lines.append("findings: none")
+        return "\n".join(lines) + "\n"

@@ -58,6 +58,7 @@ RULE_NAMES = (
     "snapshot-scope",
     "memalign-mlock",
     "swallowed-error",
+    "mont-clear",
 )
 
 #: Identifier tokens that mark a value as key material.  An argument
@@ -266,6 +267,18 @@ class _FileLinter(ast.NodeVisitor):
                     f"{name}() reads raw physical memory; only attacks/ "
                     f"and sanitizer/ may hold the core-dump primitives",
                 )
+        elif name == "drop_mont":
+            clear = next(
+                (kw.value for kw in node.keywords if kw.arg == "clear"), None
+            )
+            if not (isinstance(clear, ast.Constant) and clear.value is True):
+                self._flag(
+                    node,
+                    "mont-clear",
+                    "drop_mont() without clear=True leaves Montgomery "
+                    "residues (function of the private exponent) in the "
+                    "freed cache pages; pass clear=True",
+                )
         if name in MEMALIGN_DEFINERS and self._func_stack:
             fname, memaligns, has_mlock = self._func_stack[-1]
             memaligns.append(node)
@@ -421,6 +434,10 @@ RULE_DESCRIPTIONS: Dict[str, str] = {
     ),
     "swallowed-error": (
         "Simulator fault caught and silently discarded."
+    ),
+    "mont-clear": (
+        "drop_mont() without clear=True leaves Montgomery residues of "
+        "the private exponent in freed cache pages."
     ),
 }
 

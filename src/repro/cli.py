@@ -238,6 +238,48 @@ def cmd_keyflow(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_keystate(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.analysis.keystate import (
+        analyze,
+        compare_baseline,
+        load_baseline,
+        write_baseline,
+    )
+    from repro.analysis.keystate.baseline import DEFAULT_BASELINE_PATH
+
+    paths = [Path(p) for p in args.paths] if args.paths else None
+    try:
+        report = analyze(paths=paths)
+    except FileNotFoundError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    if args.format == "sarif":
+        _emit(json.dumps(report.to_sarif(), indent=2) + "\n", args.out)
+    elif args.format == "json":
+        _emit(
+            json.dumps(report.to_json_dict(), indent=2, sort_keys=True) + "\n",
+            args.out,
+        )
+    else:
+        _emit(report.render_text(), args.out)
+
+    baseline_path = Path(args.baseline) if args.baseline else DEFAULT_BASELINE_PATH
+    if args.write_baseline:
+        existing = load_baseline(baseline_path) if baseline_path.exists() else {}
+        target = write_baseline(report, baseline_path, existing=existing)
+        print(f"keystate: baseline written to {target}", file=sys.stderr)
+        return 0
+    if args.check_baseline:
+        drift = compare_baseline(report, load_baseline(baseline_path))
+        print(drift.render_text(), end="", file=sys.stderr)
+        return 0 if drift.ok else 1
+    return 0
+
+
 def _sweep_grids(args: argparse.Namespace):
     """Grid + machine parameters for the chosen ``--scale``."""
     from repro.analysis import experiments as exp
@@ -663,6 +705,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="rewrite the baseline from this run (keeps justifications)",
     )
     keyflow.set_defaults(func=cmd_keyflow)
+
+    keystate = sub.add_parser(
+        "keystate",
+        help="static interprocedural typestate verification of the "
+             "mitigation-API lifecycle",
+    )
+    keystate.add_argument(
+        "paths", nargs="*",
+        help="files/directories to analyze (default: the repro package)",
+    )
+    keystate.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default: text)",
+    )
+    keystate.add_argument(
+        "--out", default=None, help="write the report to a file instead of stdout",
+    )
+    keystate.add_argument(
+        "--baseline", default=None,
+        help="baseline JSON path (default: the packaged baseline)",
+    )
+    keystate.add_argument(
+        "--check-baseline", action="store_true",
+        help="exit 1 on drift: any new finding or stale baseline entry",
+    )
+    keystate.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline from this run (keeps justifications)",
+    )
+    keystate.set_defaults(func=cmd_keystate)
 
     lint = sub.add_parser(
         "lint", help="keylint: AST secret-hygiene lint (KeySan static pass)"

@@ -24,6 +24,7 @@ def offload_to_vault(rsa: RsaStruct) -> int:
     zeroed and freed, plain BIGNUMs get ``BN_clear_free`` semantics,
     any Montgomery cache is cleared.  Returns the vault handle.
     """
+    rsa._note_lifecycle("offload")
     if rsa.freed:
         raise RsaStructError("offload of freed RSA struct")
     if rsa.vault_handle is not None:

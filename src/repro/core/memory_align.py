@@ -35,6 +35,7 @@ def rsa_memory_align(rsa: RsaStruct) -> int:
     Idempotent in effect but intentionally strict: aligning twice is a
     caller bug and raises.
     """
+    rsa._note_lifecycle("align")
     if rsa.freed:
         raise RsaStructError("align of freed RSA struct")
     if rsa.aligned:

@@ -31,6 +31,11 @@ Usage::
 """
 
 from repro.sanitizer.keysan import KeySan, TaintTag
+from repro.sanitizer.lifecycle import (
+    LifecycleEvent,
+    LifecycleMonitor,
+    LifecycleViolation,
+)
 from repro.sanitizer.report import (
     CrossCheckFinding,
     CrossCheckResult,
@@ -43,6 +48,9 @@ __all__ = [
     "CrossCheckFinding",
     "CrossCheckResult",
     "KeySan",
+    "LifecycleEvent",
+    "LifecycleMonitor",
+    "LifecycleViolation",
     "ShadowMap",
     "TaintDiagnostic",
     "TaintReport",

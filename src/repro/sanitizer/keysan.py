@@ -34,6 +34,7 @@ import sys
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+from repro.sanitizer.lifecycle import LifecycleMonitor
 from repro.sanitizer.report import TaintDiagnostic, TaintReport
 from repro.sanitizer.shadow import ShadowMap
 
@@ -61,6 +62,16 @@ _SITE_SKIP_EXACT = {
     ("repro.kernel.process", "write"),
     ("repro.kernel.process", "read"),
     ("repro.kernel.syscalls", "mem_write"),
+}
+
+#: Modules holding the mitigation primitives themselves; a lifecycle
+#: event is attributed to the simulated code *calling* the primitive,
+#: which is the function the static KeyState findings name.
+_LIFECYCLE_SKIP_MODULES = {
+    "repro.ssl.rsa_st",
+    "repro.ssl.engine",
+    "repro.core.memory_align",
+    "repro.core.hardware",
 }
 
 
@@ -107,6 +118,8 @@ class KeySan:
         self._pending: List[Tuple[int, int, int]] = []
         self._free_events = 0
         self.events_matched = 0
+        #: Protocol-lifecycle monitor (KeyState's automata, executed).
+        self.lifecycle = LifecycleMonitor()
 
     # ------------------------------------------------------------------
     # attachment
@@ -172,6 +185,23 @@ class KeySan:
                 return f"{module}.{frame.f_code.co_qualname}"
             frame = frame.f_back
         return "<external>"
+
+    def _lifecycle_site(self) -> str:
+        """First frame above the mitigation primitive — the simulated
+        caller whose ordering the event describes (and the function a
+        matching KeyState finding names)."""
+        frame = sys._getframe(2)
+        while frame is not None:
+            module = frame.f_globals.get("__name__", "")
+            if not module.startswith(_SITE_SKIP_PREFIXES) and \
+                    module not in _LIFECYCLE_SKIP_MODULES:
+                return f"{module}.{frame.f_code.co_qualname}"
+            frame = frame.f_back
+        return "<external>"
+
+    def note_lifecycle(self, protocol: str, key: object, event: str) -> None:
+        """Record one mitigation-API lifecycle event (never raises)."""
+        self.lifecycle.note(protocol, key, event, self._lifecycle_site())
 
     def _origin_id(self, site: str) -> int:
         origin = self._origins.get(site)

@@ -1,0 +1,107 @@
+"""Runtime lifecycle monitor: KeyState's automata, executed.
+
+The mitigation primitives (``rsa_memory_align``, ``drop_mont``,
+``rsa_free``, ``bio_read_file``, …) emit lifecycle events through
+:meth:`KeySan.note_lifecycle` while the simulation runs.  This module
+replays those events through the *same* protocol automata the static
+KeyState checker interprets (:mod:`repro.analysis.keystate.automata`),
+recording a :class:`LifecycleViolation` whenever a transition fires a
+report rule.
+
+That shared interpretation is the point: the containment regression
+asserts **dynamic ⊆ static** — every violation observed here at any
+ProtectionLevel must correspond to a KeyState finding for the same
+rule at the same (simulated) call site.  The monitor never raises; it
+observes, exactly like the taint side of KeySan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.keystate.automata import AUTOMATA, Automaton
+
+#: One tracked runtime object: (protocol, registration key).
+_ObjKey = Tuple[str, object]
+
+
+@dataclass(frozen=True)
+class LifecycleEvent:
+    """One observed event, for diagnostics and the containment tests."""
+
+    protocol: str
+    key: object
+    event: str
+    site: str
+    state_before: str
+    state_after: str
+
+
+@dataclass(frozen=True)
+class LifecycleViolation:
+    """A protocol-ordering violation observed at runtime."""
+
+    protocol: str
+    rule: str
+    event: str
+    site: str
+    state: str  # state the object was in when the event hit
+
+
+class LifecycleMonitor:
+    """Per-object DFA execution over KeySan lifecycle events."""
+
+    def __init__(self, automata: Optional[Sequence[Automaton]] = None) -> None:
+        self.automata: Dict[str, Automaton] = {
+            a.name: a for a in (automata if automata is not None else AUTOMATA)
+        }
+        self._states: Dict[_ObjKey, str] = {}
+        self.events: List[LifecycleEvent] = []
+        self.violations: List[LifecycleViolation] = []
+        self._next_key = 0
+
+    # ------------------------------------------------------------------
+    def new_key(self) -> int:
+        """A fresh object key (identity-stable across GC, unlike id())."""
+        self._next_key += 1
+        return self._next_key
+
+    def state_of(self, protocol: str, key: object) -> Optional[str]:
+        return self._states.get((protocol, key))
+
+    # ------------------------------------------------------------------
+    def note(self, protocol: str, key: object, event: str, site: str) -> None:
+        automaton = self.automata.get(protocol)
+        if automaton is None:
+            return
+        obj: _ObjKey = (protocol, key)
+        state = self._states.get(obj)
+        if state is None:
+            # only a declared creation event brings an object to life
+            for name, initial, rule in automaton.creation_events:
+                if name == event:
+                    self._states[obj] = initial
+                    self.events.append(
+                        LifecycleEvent(protocol, key, event, site, "", initial)
+                    )
+                    if rule is not None:
+                        self.violations.append(
+                            LifecycleViolation(protocol, rule, event, site, initial)
+                        )
+                    return
+            return
+        new_state, rule = automaton.step(state, event)
+        self._states[obj] = new_state
+        self.events.append(
+            LifecycleEvent(protocol, key, event, site, state, new_state)
+        )
+        if rule is not None:
+            self.violations.append(
+                LifecycleViolation(protocol, rule, event, site, new_state)
+            )
+
+    # ------------------------------------------------------------------
+    def violation_pairs(self) -> List[Tuple[str, str]]:
+        """Sorted unique ``(rule, site)`` pairs — the containment LHS."""
+        return sorted({(v.rule, v.site) for v in self.violations})

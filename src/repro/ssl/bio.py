@@ -53,11 +53,22 @@ def bio_read_file(
     """
     sys = SyscallInterface(process.kernel, process)
     flags = O_RDONLY | (O_NOCACHE if use_nocache else 0)
+    keysan = getattr(process.kernel, "keysan", None)
+    lf_key = None
+    if keysan is not None:
+        lf_key = keysan.lifecycle.new_key()
+        keysan.note_lifecycle(
+            "key-file", lf_key, "open_nocache" if use_nocache else "open_cached"
+        )
     fd = _open_retrying(sys, path, flags)
     try:
         data = sys.read_all(fd)
+        if keysan is not None:
+            keysan.note_lifecycle("key-file", lf_key, "read")
     finally:
         sys.close(fd)
+        if keysan is not None:
+            keysan.note_lifecycle("key-file", lf_key, "close")
     if not data:
         raise ValueError(f"file {path!r} is empty")
     addr = process.heap.malloc(len(data))

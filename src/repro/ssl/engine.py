@@ -30,6 +30,7 @@ from repro.ssl.rsa_st import MontgomeryContext, RsaFlag, RsaStruct
 
 def rsa_private_operation(rsa: RsaStruct, x: int) -> int:
     """Compute ``x^d mod n`` by CRT, with faithful buffer behaviour."""
+    rsa._note_lifecycle("serve")
     if rsa.freed:
         raise RsaStructError("private operation on freed RSA struct")
     kernel = rsa.process.kernel

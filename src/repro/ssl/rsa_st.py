@@ -88,12 +88,27 @@ class RsaStruct:
         #: struct then holds no private material in RAM at all.
         self.vault_handle: Optional[int] = None
         self.freed = False
+        #: KeySan lifecycle key (assigned only while a sanitizer is
+        #: attached; None otherwise — emits become no-ops).
+        self._lifecycle_key: Optional[int] = None
+        keysan = getattr(process.kernel, "keysan", None)
+        if keysan is not None:
+            self._lifecycle_key = keysan.lifecycle.new_key()
+        self._note_lifecycle("load")
+
+    def _note_lifecycle(self, event: str) -> None:
+        if self._lifecycle_key is None:
+            return
+        keysan = getattr(self.process.kernel, "keysan", None)
+        if keysan is not None:
+            keysan.note_lifecycle("rsa-key", self._lifecycle_key, event)
 
     # ------------------------------------------------------------------
     # key access (reads go through simulated memory)
     # ------------------------------------------------------------------
     def to_key(self) -> RsaKey:
         """Reconstruct the mathematical key from in-memory bytes."""
+        self._note_lifecycle("use")
         self._require_live()
         if self.vault_handle is not None:
             raise RsaStructError(
@@ -112,6 +127,7 @@ class RsaStruct:
         )
 
     def part_bytes(self, name: str) -> bytes:
+        self._note_lifecycle("use")
         self._require_live()
         try:
             return self.bn[name].to_bytes()
@@ -141,6 +157,7 @@ class RsaStruct:
         return ctx
 
     def drop_mont(self, clear: bool = False) -> None:
+        self._note_lifecycle("mont_scrub" if clear else "mont_drop")
         for ctx in self.mont.values():
             ctx.free(clear=clear)
         self.mont.clear()
@@ -168,6 +185,13 @@ class RsaStruct:
         view.flags = self.flags
         view.bignum_data = self.bignum_data
         view.vault_handle = self.vault_handle
+        # bring the view's lifecycle state up to the parent's
+        # protection: a view of an aligned (or vaulted) key *is*
+        # aligned (or vaulted) — it shares the same pages.
+        if view.aligned:
+            view._note_lifecycle("align")
+        elif view.vault_handle is not None:
+            view._note_lifecycle("offload")
         return view
 
     # ------------------------------------------------------------------
@@ -177,6 +201,7 @@ class RsaStruct:
         """``RSA_free``: clears private BIGNUMs (as 0.9.7 does), frees
         the Montgomery cache *without* clearing (also as 0.9.7 does),
         and zeroes the aligned region if present."""
+        self._note_lifecycle("free")
         self._require_live()
         if self.bignum_data is not None:
             total = sum(bn.top for bn in self.bn.values())
@@ -188,7 +213,10 @@ class RsaStruct:
         else:
             for bn in self.bn.values():
                 bn_clear_free(bn)
-        self.drop_mont(clear=False)
+        # clear=False is safe here: the NONE-level free *is* the leak the
+        # attacks measure, and protected levels scrub via drop_mont(clear=True)
+        # before this runs.
+        self.drop_mont(clear=False)  # keylint: ignore[mont-clear]
         self.freed = True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

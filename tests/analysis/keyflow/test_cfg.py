@@ -2,7 +2,7 @@
 
 import ast
 
-from repro.analysis.keyflow.cfg import build_cfg
+from repro.analysis.ir.cfg import build_cfg
 
 
 def cfg_of(source: str):

@@ -1,0 +1,164 @@
+"""The protocol DFAs: declaration validity, step semantics, call
+pattern matching, and the ablation selector."""
+
+import ast
+
+import pytest
+
+from repro.analysis.keystate.automata import (
+    AUTOMATA,
+    Automaton,
+    EventPattern,
+    Obligation,
+    Transition,
+    automata_by_name,
+)
+
+
+def call(src):
+    return ast.parse(src, mode="eval").body
+
+
+class TestShippedAutomata:
+    def test_three_lifecycles_ship(self):
+        assert [a.name for a in AUTOMATA] == ["rsa-key", "key-file", "secret-temp"]
+
+    def test_every_report_rule_has_a_description(self):
+        for automaton in AUTOMATA:
+            reported = {t.report for t in automaton.transitions if t.report}
+            reported |= {ob.report for ob in automaton.obligations}
+            reported |= {
+                rule for _, _, rule in automaton.creation_events if rule
+            }
+            assert reported <= set(automaton.rules), automaton.name
+
+    def test_every_automaton_has_runtime_creation_events(self):
+        # the KeySan lifecycle monitor can only track objects whose
+        # birth is announced
+        for automaton in AUTOMATA:
+            assert automaton.creation_events, automaton.name
+
+    def test_transitions_stay_inside_the_state_set(self):
+        for automaton in AUTOMATA:
+            for tr in automaton.transitions:
+                assert tr.state in automaton.states
+                assert tr.target in automaton.states
+
+
+class TestStepSemantics:
+    def setup_method(self):
+        self.rsa = automata_by_name(["rsa-key"])[0]
+
+    def test_intended_path_is_silent(self):
+        state = "loaded"
+        for event in ("align", "mlock", "serve", "free"):
+            state, rule = self.rsa.step(state, event)
+            assert rule is None
+        assert state == "freed"
+
+    def test_serve_before_align_reports(self):
+        state, rule = self.rsa.step("loaded", "serve")
+        assert state == "serving-unaligned"
+        assert rule == "serve-before-align"
+
+    def test_unscrubbed_mont_contract(self):
+        assert self.rsa.step("serving-unaligned", "mont_scrub") == ("scrubbed", None)
+        assert self.rsa.step("serving-unaligned", "mont_drop") == (
+            "scrubbed",
+            "mont-drop-unscrubbed",
+        )
+        assert self.rsa.step("serving-unaligned", "free") == (
+            "freed",
+            "free-unscrubbed-mont",
+        )
+
+    def test_freed_is_absorbing_and_noisy(self):
+        assert self.rsa.step("freed", "free") == ("freed", "double-free")
+        assert self.rsa.step("freed", "serve") == ("freed", "use-after-free")
+        # rsa_free's own internal mont drop is not a violation
+        assert self.rsa.step("freed", "mont_drop") == ("freed", None)
+
+    def test_unmapped_pairs_self_loop_silently(self):
+        assert self.rsa.step("loaded", "mont_drop") == ("loaded", None)
+        assert self.rsa.step("vaulted", "serve") == ("vaulted", None)
+
+
+class TestEventPatterns:
+    def test_kwarg_gate_distinguishes_scrub_from_drop(self):
+        rsa = automata_by_name(["rsa-key"])[0]
+        scrub = rsa.event_for_terminal("drop_mont", call("r.drop_mont(clear=True)"))
+        drop_explicit = rsa.event_for_terminal("drop_mont", call("r.drop_mont(clear=False)"))
+        drop_default = rsa.event_for_terminal("drop_mont", call("r.drop_mont()"))
+        drop_dynamic = rsa.event_for_terminal("drop_mont", call("r.drop_mont(clear=flag)"))
+        assert scrub.event == "mont_scrub"
+        assert drop_explicit.event == "mont_drop"
+        assert drop_default.event == "mont_drop"  # absent kwarg is False
+        assert drop_dynamic.event == "mont_drop"  # non-constant is not True
+
+    def test_unknown_terminal_matches_nothing(self):
+        rsa = automata_by_name(["rsa-key"])[0]
+        assert rsa.event_for_terminal("memcpy", call("memcpy(a, b)")) is None
+
+    def test_ungated_pattern_matches_any_shape(self):
+        pattern = EventPattern("rsa_free", "free")
+        assert pattern.matches_call(call("r.rsa_free()"))
+        assert pattern.matches_call(call("r.rsa_free(now=True)"))
+
+
+class TestDeclarationValidation:
+    def _minimal(self, **overrides):
+        spec = dict(
+            name="toy",
+            states=frozenset({"a", "b"}),
+            initial=frozenset({"a"}),
+            creators=(("make", "a"),),
+            events=(EventPattern("poke", "poke"),),
+            transitions=(Transition("a", "poke", "b"),),
+            rules={},
+        )
+        spec.update(overrides)
+        return Automaton(**spec)
+
+    def test_minimal_automaton_is_valid(self):
+        assert self._minimal().step("a", "poke") == ("b", None)
+
+    def test_unknown_initial_state_rejected(self):
+        with pytest.raises(ValueError, match="initial state"):
+            self._minimal(initial=frozenset({"zz"}))
+
+    def test_transition_may_not_leave_the_state_set(self):
+        with pytest.raises(ValueError, match="leaves the state set"):
+            self._minimal(transitions=(Transition("a", "poke", "zz"),))
+
+    def test_transition_on_undeclared_event_rejected(self):
+        with pytest.raises(ValueError, match="unknown event"):
+            self._minimal(transitions=(Transition("a", "jab", "b"),))
+
+    def test_report_rule_must_be_described(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            self._minimal(
+                transitions=(Transition("a", "poke", "b", report="mystery"),)
+            )
+
+    def test_obligation_rule_must_be_described(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            self._minimal(obligations=(Obligation("a", "mystery"),))
+
+    def test_creator_state_must_exist_unless_special(self):
+        with pytest.raises(ValueError, match="unknown state"):
+            self._minimal(creators=(("make", "zz"),))
+        # @-specs are deferred to the engine, not state names
+        self._minimal(creators=(("make", "@receiver"),))
+
+
+class TestSelector:
+    def test_default_is_all_shipped(self):
+        assert automata_by_name(None) == AUTOMATA
+
+    def test_subset_preserves_request_order(self):
+        names = [a.name for a in automata_by_name(["secret-temp", "rsa-key"])]
+        assert names == ["secret-temp", "rsa-key"]
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown automata: nope"):
+            automata_by_name(["rsa-key", "nope"])

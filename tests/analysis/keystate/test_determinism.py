@@ -1,11 +1,11 @@
-"""Byte-identical results under any discovery or worklist order.
+"""Byte-identical KeyState reports under any discovery or seed order.
 
-The interprocedural facts are monotone, so chaotic iteration reaches
-the same least fixpoint no matter how the worklist is seeded; findings
-come from one sorted final pass.  These tests shuffle both knobs with
-hypothesis and require byte-for-byte identical reports — the repo's
-byte-identical-reports convention applied to the analyzer itself.
-"""
+Same contract as KeyFlow's determinism suite: the interprocedural
+rounds iterate the *sorted* function list and all summary facts are
+monotone, so file-discovery order and any caller-supplied seed order
+cannot change the fixpoint — and findings come from one sorted final
+pass.  Shuffle both knobs with hypothesis and require byte-for-byte
+identical text, JSON, and SARIF."""
 
 import json
 import random
@@ -13,27 +13,31 @@ import random
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.analysis.keyflow import analyze
 from repro.analysis.ir.project import Project, discover_files
+from repro.analysis.keystate import analyze
 
 FIXTURE_SOURCES = {
     "alpha.py": (
-        "def produce(path):\n"
-        "    return pem_decode(path)\n"
+        "def serve_it(rsa, msg):\n"
+        "    rsa_private_operation(rsa, msg)\n"
         "\n"
-        "def relay(mm, path):\n"
-        "    mm.write(0, produce(path))\n"
+        "def entry(process, msg):\n"
+        "    rsa = RsaStruct(process)\n"
+        "    serve_it(rsa, msg)\n"
     ),
     "beta.py": (
         "class Holder:\n"
-        "    def __init__(self, path):\n"
-        "        self.payload = pem_decode(path)\n"
+        "    def __init__(self, process):\n"
+        "        self.rsa = RsaStruct(process)\n"
         "\n"
-        "    def spill(self, fh):\n"
-        "        fh.write_text(self.payload)\n"
+        "    def drop(self):\n"
+        "        self.rsa.rsa_free()\n"
+        "\n"
+        "    def drop_again(self):\n"
+        "        self.rsa.rsa_free()\n"
     ),
     "gamma.py": (
-        "def scrubbed(process, data):\n"
+        "def scrubbed(process, data, use):\n"
         "    bn = bn_bin2bn(process, data)\n"
         "    try:\n"
         "        use(bn)\n"
@@ -41,9 +45,9 @@ FIXTURE_SOURCES = {
         "        bn_clear_free(bn)\n"
     ),
     "delta.py": (
-        "def sloppy(process, data):\n"
-        "    bn = bn_bin2bn(process, data)\n"
-        "    use(bn)\n"
+        "def sloppy_file(sys, path):\n"
+        "    fd = sys.open(path, O_RDONLY)\n"
+        "    return sys.read_all(fd)\n"
     ),
 }
 
@@ -65,7 +69,7 @@ class TestShuffles:
     @settings(max_examples=12, deadline=None,
               suppress_health_check=[HealthCheck.function_scoped_fixture])
     @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
-    def test_file_and_worklist_order_do_not_matter(self, tmp_path, seed):
+    def test_file_and_seed_order_do_not_matter(self, tmp_path, seed):
         root = tmp_path / f"proj{seed}"
         root.mkdir()
         make_project(root)
@@ -81,13 +85,21 @@ class TestShuffles:
         )
         assert shuffled == baseline
 
+    def test_fixture_findings_are_nonempty(self, tmp_path):
+        # guard against the shuffles passing vacuously on empty reports
+        make_project(tmp_path)
+        report = analyze(paths=[tmp_path])
+        rules = {f.rule for f in report.findings}
+        assert "serve-before-align" in rules
+        assert "keyfile-no-nocache" in rules
+
     def test_two_full_dogfood_runs_are_byte_identical(self):
         first = rendered(analyze())
         second = rendered(analyze())
         assert first == second
 
     def test_reversed_discovery_on_real_tree(self):
-        from repro.analysis.keyflow.engine import REPRO_ROOT
+        from repro.analysis.keystate.engine import REPRO_ROOT
 
         pairs = list(reversed(discover_files([REPRO_ROOT])))
         assert rendered(analyze(files=pairs)) == rendered(analyze())

@@ -1,0 +1,13 @@
+"""Fixture: drop_mont() calls that leave Montgomery residues behind."""
+
+
+def worker_teardown(rsa):
+    rsa.drop_mont()  # bare: defaults to clear=False
+
+
+def fork_cleanup(child_rsa):
+    child_rsa.drop_mont(clear=False)  # explicit non-clearing drop
+
+
+def config_driven(rsa, wipe):
+    rsa.drop_mont(clear=wipe)  # not provably True at lint time

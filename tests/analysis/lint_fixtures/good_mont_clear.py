@@ -1,0 +1,9 @@
+"""Fixture: the compliant Montgomery-cache teardown — never flagged."""
+
+
+def fork_cleanup(child_rsa):
+    child_rsa.drop_mont(clear=True)
+
+
+def deliberate_leak(rsa):
+    rsa.drop_mont(clear=False)  # keylint: ignore[mont-clear]

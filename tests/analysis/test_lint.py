@@ -66,6 +66,15 @@ class TestRulesFire:
         assert len(violations) == 2
         assert all("<lambda>" in v.message for v in violations)
 
+    def test_mont_clear_flags_non_clearing_drops(self):
+        violations = lint_file(FIXTURES / "bad_mont_clear.py")
+        assert rules_in(violations) == {"mont-clear"}
+        assert len(violations) == 3  # bare, clear=False, clear=<variable>
+        assert all("clear=True" in v.message for v in violations)
+
+    def test_mont_clear_accepts_clearing_drop(self):
+        assert lint_file(FIXTURES / "good_mont_clear.py") == []
+
     def test_every_rule_has_a_firing_fixture(self):
         violations = lint_paths([FIXTURES])
         assert rules_in(violations) == set(RULE_NAMES)

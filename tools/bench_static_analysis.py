@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Benchmark the static-analysis stack over ``src/repro``.
+
+Times each layer end to end — keylint (AST hygiene lint), KeyFlow
+(interprocedural taint), KeyState (interprocedural typestate) — and
+writes ``BENCH_static_analysis.json`` at the repo root so the
+analysis-performance trajectory is tracked alongside the simulation
+benchmarks.
+
+Usage::
+
+    python tools/bench_static_analysis.py             # 3 repetitions
+    python tools/bench_static_analysis.py --repeat 5
+    python tools/bench_static_analysis.py --out custom.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+DEFAULT_OUT = REPO_ROOT / "BENCH_static_analysis.json"
+TARGET = SRC / "repro"
+
+
+def _bench(label, fn, repeat):
+    """Run ``fn`` ``repeat`` times; return timing stats + its summary."""
+    times = []
+    summary = {}
+    for _ in range(repeat):
+        start = time.perf_counter()
+        summary = fn()
+        times.append(time.perf_counter() - start)
+    return {
+        "tool": label,
+        "repetitions": repeat,
+        "best_seconds": round(min(times), 4),
+        "mean_seconds": round(sum(times) / len(times), 4),
+        **summary,
+    }
+
+
+def _run_keylint():
+    from repro.analysis.lint import lint_paths
+
+    violations = lint_paths([TARGET])
+    return {"findings": len(violations)}
+
+
+def _run_keyflow():
+    from repro.analysis.keyflow import analyze
+
+    report = analyze(paths=[TARGET])
+    return {
+        "findings": len(report.findings),
+        "files": len(report.files),
+        "functions": report.function_count,
+    }
+
+
+def _run_keystate():
+    from repro.analysis.keystate import analyze
+
+    report = analyze(paths=[TARGET])
+    return {
+        "findings": len(report.findings),
+        "files": len(report.files),
+        "functions": report.function_count,
+        "protocols": report.protocols,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_static_analysis",
+        description="time keylint / KeyFlow / KeyState over src/repro",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=3,
+        help="repetitions per tool; best and mean are reported (default: 3)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT,
+        help=f"output JSON path (default: {DEFAULT_OUT.name})",
+    )
+    args = parser.parse_args(argv)
+
+    runs = [
+        ("keylint", _run_keylint),
+        ("keyflow", _run_keyflow),
+        ("keystate", _run_keystate),
+    ]
+    results = []
+    for label, fn in runs:
+        entry = _bench(label, fn, args.repeat)
+        results.append(entry)
+        print(
+            f"{label:9s} best {entry['best_seconds']:7.3f}s  "
+            f"mean {entry['mean_seconds']:7.3f}s  "
+            f"findings {entry['findings']}",
+        )
+
+    payload = {
+        "benchmark": "static_analysis",
+        "target": str(TARGET.relative_to(REPO_ROOT)),
+        "python": sys.version.split()[0],
+        "results": results,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

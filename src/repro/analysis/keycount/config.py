@@ -1,0 +1,287 @@
+"""KeyCount configuration: what counts as a key copy, and what kills it.
+
+Everything the copy-bound engine treats as policy lives here as data:
+
+* :data:`DEFAULT_COPY_CALLS` — terminal call names that *create* a
+  copy of key material, mapped to a copy *kind*;
+* :data:`DEFAULT_KIND_SPECS` — per kind: which memory-region classes
+  the copy occupies, and which mitigation flags *kill* it (reduce the
+  static bound to zero) — each with the paper result it models;
+* :data:`DEFAULT_REGION_KILLS` — region-class backstops (the kernel
+  zero-on-free patch kills every freed-region copy, whatever created
+  it);
+* :data:`DEFAULT_GUARD_ALIASES` — local parameter names that carry
+  mitigation-policy flags into library code (``align=`` in
+  ``d2i_privatekey`` is the library-alignment flag);
+* :data:`DEFAULT_DEPLOYMENT` — the interprocedural roots and their
+  symbolic multiplicities (the OpenSSH server entry points; connection
+  handling runs ``N`` times).
+
+The kill tables are deliberately asymmetric in one place, and the
+asymmetry is the point of the whole analysis: ``crt-part`` copies are
+killed by ``lib_align`` but **not** by ``app_align``.  The six CRT
+parts are created *inside* ``d2i_privatekey``; the application-level
+solution scrubs them from *outside* the library call, which is a
+may-scrub across a call boundary, not a must-scrub on every path —
+statically unprovable.  The library-level solution scrubs them before
+``d2i`` returns, a must-path the engine can verify.  This reproduces
+the paper's own argument for pushing the mitigation down into the
+library, and it is why the APPLICATION bound is strictly looser than
+the LIBRARY bound even though the two levels look similar dynamically.
+
+:meth:`KeyCountConfig.without_mitigation` is the ablation hook: it
+strips one flag from every kill set, and the teeth tests assert the
+resulting bound is strictly looser.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Tuple
+
+from .domain import Count
+
+#: Memory-region classes a copy can occupy, in report order.  ``total``
+#: in reports is the sum over these.
+REGION_CLASSES: Tuple[str, ...] = ("allocated", "freed", "pagecache", "swap")
+
+#: Policy flags a guard may test (``align_on_load`` is the derived
+#: property ``app_align or lib_align`` on ProtectionPolicy).
+POLICY_FLAGS: Tuple[str, ...] = (
+    "app_align",
+    "lib_align",
+    "kernel_zero",
+    "o_nocache",
+    "sshd_no_reexec",
+    "hw_vault",
+    "align_on_load",
+)
+
+
+@dataclass(frozen=True)
+class KindSpec:
+    """Static facts about one copy kind."""
+
+    #: Region classes the copy occupies (one bound contribution each).
+    regions: Tuple[str, ...]
+    #: Policy flags that eliminate the copy entirely.
+    killed_by: Tuple[str, ...]
+    #: Flags that must be *on* for the copy to exist at all (the
+    #: page-aligned key region is only allocated when alignment is).
+    requires: Tuple[str, ...] = ()
+    description: str = ""
+    #: The paper result this kind models (docs + SARIF rule help).
+    paper_anchor: str = ""
+
+
+DEFAULT_COPY_CALLS: Mapping[str, str] = {
+    # BN_bin2bn over each CRT part materializes a heap copy of that
+    # part (d, p, q, dmp1, dmq1, iqmp).
+    "bn_bin2bn": "crt-part",
+    # Montgomery pre-computation caches transformed key parts.
+    "MontgomeryContext": "mont-cache",
+    # Reading the PEM through the buffer cache leaves a page-cache copy.
+    "bio_read_file": "pagecache-pem",
+    # The page-aligned consolidated key region is itself one copy.
+    "memalign": "aligned-key-page",
+    "posix_memalign": "aligned-key-page",
+    # Reclaim writing a key page to the swap device.
+    "swap_out": "swap-out",
+}
+
+DEFAULT_KIND_SPECS: Mapping[str, KindSpec] = {
+    "crt-part": KindSpec(
+        regions=("allocated", "freed"),
+        killed_by=("lib_align", "hw_vault"),
+        description=(
+            "BN_bin2bn heap copy of one RSA CRT part; scattered parts "
+            "are consolidated (and the originals scrubbed) only by the "
+            "library-level alignment inside d2i"
+        ),
+        paper_anchor=(
+            "paper §5: scattered BIGNUM copies the library-level "
+            "d2i alignment eliminates (app-level scrubbing is a "
+            "may-path outside the library, so it does not lower the "
+            "static bound)"
+        ),
+    ),
+    "mont-cache": KindSpec(
+        regions=("allocated", "freed"),
+        killed_by=("align_on_load", "hw_vault"),
+        description=(
+            "Montgomery pre-computation cache holding transformed "
+            "private-key parts; alignment relocates it into the "
+            "protected region"
+        ),
+        paper_anchor="paper §5.2: RSA_blinding/Montgomery residues",
+    ),
+    "pagecache-pem": KindSpec(
+        regions=("pagecache",),
+        killed_by=("o_nocache", "hw_vault"),
+        description=(
+            "page-cache copy of the PEM key file left by buffered "
+            "file I/O; O_NOCACHE-style reads bypass it"
+        ),
+        paper_anchor="paper §4.3/Table 2: the page-cache copy",
+    ),
+    "aligned-key-page": KindSpec(
+        regions=("allocated",),
+        killed_by=("hw_vault",),
+        requires=("align_on_load",),
+        description=(
+            "the consolidated page-aligned mlocked key region — the "
+            "single residual allocated copy the paper permits"
+        ),
+        paper_anchor=(
+            "paper §6: exactly one allocated copy remains at the "
+            "integrated level (cf. the n_tty one-copy residue)"
+        ),
+    ),
+    "temp-buffer": KindSpec(
+        regions=("freed",),
+        killed_by=("kernel_zero", "hw_vault"),
+        description=(
+            "transient PEM/DER staging buffer freed without an "
+            "explicit clear; survives in the freed region until "
+            "reallocation"
+        ),
+        paper_anchor=(
+            "paper §4.2/Table 1: freed-heap copies the zero-on-free "
+            "kernel patch eliminates (the ext2 result)"
+        ),
+    ),
+    "swap-out": KindSpec(
+        regions=("swap",),
+        killed_by=("align_on_load", "hw_vault"),
+        description=(
+            "key page written to the swap device by memory reclaim; "
+            "alignment mlocks the key page so it is never eligible"
+        ),
+        paper_anchor="paper §4.4: swapped copies pinned out by mlock",
+    ),
+}
+
+#: Region-class backstops applied on top of per-kind kills: the kernel
+#: zero-on-free patch scrubs *every* freed frame, whatever wrote it.
+DEFAULT_REGION_KILLS: Mapping[str, Tuple[str, ...]] = {
+    "freed": ("kernel_zero",),
+}
+
+#: Parameter/attribute names that alias mitigation-policy flags inside
+#: library code.  ``if align:`` in d2i guards on the library-alignment
+#: policy; ``scrub_buffers`` defaults to it; ``rsa.aligned`` records
+#: that alignment ran.
+DEFAULT_GUARD_ALIASES: Mapping[str, str] = {
+    "align": "lib_align",
+    "aligned": "align_on_load",
+    "scrub_buffers": "align_on_load",
+    "use_nocache": "o_nocache",
+    "nocache": "o_nocache",
+    "no_reexec": "sshd_no_reexec",
+}
+
+#: Identifier fragments marking a buffer as key material for the
+#: free-without-clear (temp-buffer) heuristic.
+DEFAULT_SECRET_HINTS: FrozenSet[str] = frozenset(
+    {"pem", "der", "key", "priv", "secret", "mont", "bn"}
+)
+
+#: Module-level constant tuples with a known length, used as loop
+#: multipliers (``for name in PART_NAMES`` runs exactly six times).
+DEFAULT_CONST_ITERABLES: Mapping[str, int] = {"PART_NAMES": 6}
+
+#: Interprocedural roots: full-name *suffixes* of the deployment entry
+#: points and how often each runs.  The default is the paper's subject,
+#: the OpenSSH server: start/stop once, the connection cycle once per
+#: connection, set_concurrency once (its internal loops contribute the
+#: per-connection factor).  Functions unreachable from these roots
+#: (e.g. the Apache deployment) contribute nothing to the bound.
+DEFAULT_DEPLOYMENT: Mapping[str, Count] = {
+    "apps.sshd.OpenSSHServer.start": Count.one(),
+    "apps.sshd.OpenSSHServer.stop": Count.one(),
+    "apps.sshd.OpenSSHServer.run_connection_cycle": Count.per_connection(),
+    "apps.sshd.OpenSSHServer.set_concurrency": Count.one(),
+}
+
+
+@dataclass(frozen=True)
+class KeyCountConfig:
+    """Tunable policy for the copy-bound engine."""
+
+    copy_calls: Mapping[str, str] = field(
+        default_factory=lambda: dict(DEFAULT_COPY_CALLS)
+    )
+    kind_specs: Mapping[str, KindSpec] = field(
+        default_factory=lambda: dict(DEFAULT_KIND_SPECS)
+    )
+    region_kills: Mapping[str, Tuple[str, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_REGION_KILLS)
+    )
+    guard_aliases: Mapping[str, str] = field(
+        default_factory=lambda: dict(DEFAULT_GUARD_ALIASES)
+    )
+    secret_hints: FrozenSet[str] = DEFAULT_SECRET_HINTS
+    const_iterables: Mapping[str, int] = field(
+        default_factory=lambda: dict(DEFAULT_CONST_ITERABLES)
+    )
+    deployment: Mapping[str, Count] = field(
+        default_factory=lambda: dict(DEFAULT_DEPLOYMENT)
+    )
+    #: Constant loop bounds above this widen to one-per-connection.
+    loop_const_cap: int = 64
+    #: Max guard-distinct context groups per function before merging.
+    context_cap: int = 8
+    #: Fixpoint round limit (the saturating domain converges well
+    #: before this; the cap is a defensive backstop).
+    max_rounds: int = 24
+
+    # ------------------------------------------------------------------
+    def without_mitigation(self, flag: str) -> "KeyCountConfig":
+        """Ablation: pretend mitigation ``flag`` kills nothing.
+
+        The teeth tests assert the resulting bound is strictly looser —
+        proof each kill term is load-bearing, mirroring the paper's
+        one-mitigation-at-a-time evaluation."""
+        if flag not in POLICY_FLAGS:
+            raise ValueError(
+                f"unknown mitigation flag {flag!r}; expected one of "
+                f"{', '.join(sorted(POLICY_FLAGS))}"
+            )
+        specs = {
+            kind: dataclasses.replace(
+                spec, killed_by=tuple(f for f in spec.killed_by if f != flag)
+            )
+            for kind, spec in self.kind_specs.items()
+        }
+        kills = {
+            region: tuple(f for f in flags if f != flag)
+            for region, flags in self.region_kills.items()
+        }
+        return dataclasses.replace(self, kind_specs=specs, region_kills=kills)
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "copy_calls": dict(sorted(self.copy_calls.items())),
+            "kinds": {
+                kind: {
+                    "regions": list(spec.regions),
+                    "killed_by": list(spec.killed_by),
+                    "requires": list(spec.requires),
+                }
+                for kind, spec in sorted(self.kind_specs.items())
+            },
+            "region_kills": {
+                region: list(flags)
+                for region, flags in sorted(self.region_kills.items())
+            },
+            "deployment": {
+                suffix: count.render()
+                for suffix, count in sorted(self.deployment.items())
+            },
+            "loop_const_cap": self.loop_const_cap,
+            "context_cap": self.context_cap,
+        }
+
+
+DEFAULT_CONFIG = KeyCountConfig()

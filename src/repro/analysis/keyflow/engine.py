@@ -25,15 +25,19 @@ def analyze(
     files: Optional[Sequence[Tuple[Path, Path]]] = None,
     config: KeyFlowConfig = DEFAULT_CONFIG,
     initial_order: Optional[Sequence[str]] = None,
+    project: Optional[Project] = None,
 ) -> KeyFlowReport:
     """Run the full analysis and return a :class:`KeyFlowReport`.
 
     ``files`` and ``initial_order`` exist for the determinism tests:
     they permute file-discovery order and the interprocedural worklist
-    seed; the report must be byte-identical either way.
+    seed; the report must be byte-identical either way.  ``project``
+    reuses an already-loaded IR build (the ``repro analyze``
+    meta-command parses the tree once for all layers).
     """
-    roots = [Path(p) for p in paths] if paths is not None else [REPRO_ROOT]
-    project = Project.load(roots, files=files)
+    if project is None:
+        roots = [Path(p) for p in paths] if paths is not None else [REPRO_ROOT]
+        project = Project.load(roots, files=files)
 
     analysis = TaintAnalysis(project, config)
     analysis.run(initial_order=initial_order)

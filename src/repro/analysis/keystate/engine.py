@@ -1062,17 +1062,21 @@ def analyze(
     files: Optional[Sequence[Tuple[Path, Path]]] = None,
     config: Optional[KeyStateConfig] = None,
     initial_order: Optional[Sequence[str]] = None,
+    project: Optional[Project] = None,
 ) -> KeyStateReport:
     """Run every configured automaton over the project.
 
     ``files`` and ``initial_order`` exist for the determinism tests:
     the interprocedural engine iterates full rounds over the *sorted*
-    function list, so results are independent of both.
+    function list, so results are independent of both.  ``project``
+    reuses an already-loaded IR build (the ``repro analyze``
+    meta-command parses the tree once for all layers).
     """
     del initial_order  # accepted for API symmetry; never affects results
     config = config or KeyStateConfig()
-    roots = [Path(p) for p in paths] if paths is not None else [REPRO_ROOT]
-    project = Project.load(roots, files=files)
+    if project is None:
+        roots = [Path(p) for p in paths] if paths is not None else [REPRO_ROOT]
+        project = Project.load(roots, files=files)
     automata = automata_by_name(config.automata)
 
     findings: List[Finding] = []

@@ -26,6 +26,14 @@ from §4 of the paper:
     paired with an ``mlock`` in the same function can be swapped out —
     the exact hole ``RSA_memory_align()`` exists to close.
 
+``secret-in-log``
+    ``print()`` / ``logging`` calls whose arguments (including
+    f-strings) embed raw key bytes — a secret-producer call like
+    ``d_bytes()`` or a CRT-part attribute of a key object.  A log line
+    is a copy of the key that outlives every scrub: it lands in ring
+    buffers, journald, and terminal scrollback where no countermeasure
+    reaches.
+
 ``swallowed-error``
     A bare ``except:`` anywhere, or an ``except <ReproError type>:``
     whose body does nothing (``pass`` or a lone constant/docstring).
@@ -59,6 +67,7 @@ RULE_NAMES = (
     "memalign-mlock",
     "swallowed-error",
     "mont-clear",
+    "secret-in-log",
 )
 
 #: Identifier tokens that mark a value as key material.  An argument
@@ -75,6 +84,23 @@ SECRET_PRODUCERS = frozenset(
     {"to_bytes", "part_bytes", "d_bytes", "p_bytes", "q_bytes",
      "int_to_bytes", "pem_encode"}
 )
+
+#: Logging terminals watched by secret-in-log.  ``print`` is a plain
+#: name; the rest are the stdlib ``logging`` method names, matched as
+#: the terminal of an attribute call (``logger.debug(...)``).
+LOG_SINKS = frozenset(
+    {"print", "debug", "info", "warning", "error", "critical",
+     "exception", "log"}
+)
+
+#: CRT-part attribute names: ``<key>.dmp1`` etc. are unambiguous key
+#: material; single-letter ``d``/``p``/``q`` only count when the base
+#: object itself looks like a key (see KEY_BASE_TOKENS).
+CRT_PART_ATTRS = frozenset({"d", "p", "q", "dmp1", "dmq1", "iqmp"})
+
+#: Base-object tokens that mark ``base.d`` as a private CRT part
+#: rather than, say, a loop index namespace.
+KEY_BASE_TOKENS = frozenset({"rsa", "key", "priv", "private", "secret"})
 
 #: Raw-RAM primitives restricted by snapshot-scope.
 RAW_VIEW_CALLS = frozenset({"snapshot", "raw_view"})
@@ -185,6 +211,26 @@ def _call_name(node: ast.Call) -> Optional[str]:
     return None
 
 
+def _secret_exposures(node: ast.expr) -> List[str]:
+    """Descriptions of key-material expressions inside ``node``:
+    secret-producer calls (``d_bytes()``) and CRT-part attributes on
+    key-looking bases (``rsa.dmp1``, ``key.d``).  f-strings are plain
+    expression trees, so ``f"d={rsa.d}"`` is covered by the same walk."""
+    found: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            name = _call_name(sub)
+            if name in SECRET_PRODUCERS:
+                found.add(f"{name}()")
+        elif isinstance(sub, ast.Attribute) and sub.attr in CRT_PART_ATTRS:
+            base_tokens = _identifier_tokens(sub.value)
+            if sub.attr in ("dmp1", "dmq1", "iqmp") or (
+                base_tokens & KEY_BASE_TOKENS
+            ):
+                found.add(f".{sub.attr}")
+    return sorted(found)
+
+
 class _FileLinter(ast.NodeVisitor):
     """Single-file AST walk collecting violations for every rule."""
 
@@ -278,6 +324,21 @@ class _FileLinter(ast.NodeVisitor):
                     "drop_mont() without clear=True leaves Montgomery "
                     "residues (function of the private exponent) in the "
                     "freed cache pages; pass clear=True",
+                )
+        if name in LOG_SINKS:
+            exposed: List[str] = []
+            for arg in list(node.args) + [
+                kw.value for kw in node.keywords if kw.value is not None
+            ]:
+                exposed.extend(_secret_exposures(arg))
+            if exposed:
+                self._flag(
+                    node,
+                    "secret-in-log",
+                    f"{name}() logs key material "
+                    f"({', '.join(sorted(set(exposed)))}); a log line is "
+                    f"an unscrubbable copy of the key — log lengths or "
+                    f"fingerprints, never the bytes",
                 )
         if name in MEMALIGN_DEFINERS and self._func_stack:
             fname, memaligns, has_mlock = self._func_stack[-1]
@@ -438,6 +499,11 @@ RULE_DESCRIPTIONS: Dict[str, str] = {
     "mont-clear": (
         "drop_mont() without clear=True leaves Montgomery residues of "
         "the private exponent in freed cache pages."
+    ),
+    "secret-in-log": (
+        "print()/logging call embeds raw key bytes (secret-producer "
+        "call or CRT-part attribute); log lines are unscrubbable "
+        "copies."
     ),
 }
 

@@ -1,0 +1,147 @@
+"""``repro analyze``: the whole static stack over one shared IR build.
+
+Running the four static layers independently parses and resolves the
+entire project four times.  This module discovers files once, builds
+one :class:`~repro.analysis.ir.project.Project`, and feeds it to:
+
+1. **keylint** — syntactic rules over the same discovered file list;
+2. **KeyFlow** — interprocedural taint;
+3. **KeyState** — mitigation-API typestate;
+4. **KeyCount** — quantitative copy bounds;
+
+then merges the four SARIF logs into a single multi-run document
+(:func:`repro.analysis.sarif.merge_sarif_logs`) so CI uploads one
+artifact instead of four.
+
+Gate semantics (``--check``): keylint violations fail directly (its
+baseline is "zero findings in src/repro"); the three IR layers fail on
+baseline *drift* — a new finding or a stale suppression — via their
+packaged reviewed baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.ir.project import Project, discover_files
+from repro.analysis.lint import LintViolation, lint_file, render_report, render_sarif
+from repro.analysis.sarif import merge_sarif_logs
+from repro.analysis.toolcli import BASELINE_TOOLS, get_tool
+
+REPRO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Stack order, for reports and the bench.
+LAYERS = ("keylint",) + BASELINE_TOOLS
+
+
+@dataclass
+class AnalyzeResult:
+    """Everything one combined run produced."""
+
+    files: List[str]
+    function_count: int
+    violations: List[LintViolation]
+    #: tool name -> report object (KeyFlowReport/KeyStateReport/…).
+    reports: Dict[str, object]
+    #: tool name -> BaselineDrift (only populated by ``check=True``).
+    drifts: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        if self.violations:
+            return False
+        return all(drift.ok for drift in self.drifts.values())
+
+    # ------------------------------------------------------------------
+    def to_sarif(self) -> Dict[str, object]:
+        """One merged multi-run SARIF 2.1.0 document for the stack."""
+        logs = [render_sarif(self.violations)]
+        logs.extend(self.reports[name].to_sarif() for name in BASELINE_TOOLS)
+        return merge_sarif_logs(logs)
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "tool": "analyze",
+            "layers": list(LAYERS),
+            "files": list(self.files),
+            "functions": self.function_count,
+            "keylint": {
+                "violations": [
+                    {
+                        "path": v.path,
+                        "line": v.line,
+                        "col": v.col,
+                        "rule": v.rule,
+                        "message": v.message,
+                    }
+                    for v in self.violations
+                ],
+            },
+            **{
+                name: self.reports[name].to_json_dict()
+                for name in BASELINE_TOOLS
+            },
+        }
+
+    def render_text(self) -> str:
+        lines: List[str] = []
+        lines.append("repro analyze: the five-layer static stack")
+        lines.append(
+            f"  shared IR build: {len(self.files)} files, "
+            f"{self.function_count} functions"
+        )
+        lines.append("")
+        lines.append("== keylint ==")
+        lines.append(render_report(self.violations))
+        for name in BASELINE_TOOLS:
+            lines.append("")
+            lines.append(f"== {name} ==")
+            lines.append(self.reports[name].render_text().rstrip("\n"))
+        if self.drifts:
+            lines.append("")
+            lines.append("== baseline gates ==")
+            for name in sorted(self.drifts):
+                drift = self.drifts[name]
+                verdict = "ok" if drift.ok else "DRIFT"
+                lines.append(f"  {name}: {verdict}")
+                rendered = drift.render_text().rstrip("\n")
+                if rendered:
+                    lines.extend("    " + l for l in rendered.splitlines())
+            lines.append(
+                "  => " + ("all gates green" if self.ok else "GATE FAILURE")
+            )
+        return "\n".join(lines) + "\n"
+
+
+def run_all(
+    paths: Optional[Sequence[Path]] = None,
+    files: Optional[Sequence[Tuple[Path, Path]]] = None,
+    check: bool = False,
+) -> AnalyzeResult:
+    """Run keylint → KeyFlow → KeyState → KeyCount over one IR build."""
+    roots = [Path(p) for p in paths] if paths else [REPRO_ROOT]
+    pairs = list(files) if files is not None else discover_files(roots)
+    project = Project.load(roots, files=pairs)
+
+    violations: List[LintViolation] = []
+    for root, file_path in sorted(pairs, key=lambda p: p[1].as_posix()):
+        violations.extend(lint_file(file_path, root=root))
+
+    reports: Dict[str, object] = {}
+    drifts: Dict[str, object] = {}
+    for name in BASELINE_TOOLS:
+        tool = get_tool(name)
+        report = tool.analyze(project=project)
+        reports[name] = report
+        if check:
+            drifts[name] = tool.compare_baseline(report, tool.load_baseline())
+
+    return AnalyzeResult(
+        files=list(project.files),
+        function_count=len(project.functions),
+        violations=violations,
+        reports=reports,
+        drifts=drifts,
+    )

@@ -82,6 +82,26 @@ def sarif_log(
     }
 
 
+def merge_sarif_logs(logs: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Combine several single-tool SARIF logs into one multi-run log.
+
+    SARIF models exactly this: one ``runs`` entry per tool.  GitHub's
+    upload action ingests the merged document in a single call, which
+    is how ``repro analyze`` ships keylint + KeyFlow + KeyState +
+    KeyCount results as one artifact.  Run order is preserved;
+    :func:`validate_sarif` already checks every run independently."""
+    if not logs:
+        raise ValueError("merge_sarif_logs: need at least one log")
+    runs: List[Dict[str, object]] = []
+    for log in logs:
+        runs.extend(log.get("runs", []))  # type: ignore[arg-type]
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA,
+        "runs": runs,
+    }
+
+
 def validate_sarif(document: object) -> List[str]:
     """Structural validation against the SARIF 2.1.0 subset we emit.
 

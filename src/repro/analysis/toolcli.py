@@ -1,0 +1,154 @@
+"""Shared CLI plumbing for the baseline-gated analysis layers.
+
+KeyFlow, KeyState, and KeyCount expose the identical package API
+(``analyze`` / ``load_baseline`` / ``compare_baseline`` /
+``write_baseline`` / a packaged ``DEFAULT_BASELINE_PATH``), and their
+command-line front ends — both the ``python -m repro <tool>``
+subcommands and the standalone ``tools/<tool>.py`` runners — used to
+copy the same ~40 lines of argparse/render/baseline logic per tool.
+This module is that logic, written once:
+
+* :func:`add_analysis_arguments` — the common argument set
+  (``paths``, ``--format``, ``--out``, ``--baseline``,
+  ``--check-baseline``, ``--write-baseline``);
+* :func:`run_analysis_tool` — parse → analyze → render → emit →
+  baseline gate, with the standard exit codes (0 ok, 1 drift,
+  2 bad input);
+* :func:`emit` / :func:`render_report` — the shared output helpers.
+
+Tools are resolved lazily by name so importing this module stays
+cheap and adding a layer is a one-line registry entry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+#: Analysis layers sharing the package API, in stack order.
+BASELINE_TOOLS = ("keyflow", "keystate", "keycount")
+
+REPORT_FORMATS = ("text", "json", "sarif")
+
+
+@dataclass(frozen=True)
+class ToolHandle:
+    """One analysis layer's callables, resolved from its package."""
+
+    name: str
+    analyze: Callable
+    load_baseline: Callable
+    compare_baseline: Callable
+    write_baseline: Callable
+    default_baseline: Path
+
+
+def get_tool(name: str) -> ToolHandle:
+    if name not in BASELINE_TOOLS:
+        raise ValueError(f"unknown analysis tool {name!r}")
+    package = importlib.import_module(f"repro.analysis.{name}")
+    baseline = importlib.import_module(f"repro.analysis.{name}.baseline")
+    return ToolHandle(
+        name=name,
+        analyze=package.analyze,
+        load_baseline=package.load_baseline,
+        compare_baseline=package.compare_baseline,
+        write_baseline=package.write_baseline,
+        default_baseline=baseline.DEFAULT_BASELINE_PATH,
+    )
+
+
+def add_analysis_arguments(
+    parser: argparse.ArgumentParser,
+    default_paths_help: str = "files/directories to analyze "
+    "(default: the repro package)",
+) -> None:
+    """The argument set every baseline-gated analysis CLI shares."""
+    parser.add_argument("paths", nargs="*", help=default_paths_help)
+    parser.add_argument(
+        "--format", choices=REPORT_FORMATS, default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="write the report to a file instead of stdout",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="baseline JSON path (default: the packaged baseline)",
+    )
+    parser.add_argument(
+        "--check-baseline", action="store_true",
+        help="exit 1 on drift: any new finding or stale baseline entry",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline from this run (keeps justifications)",
+    )
+
+
+def render_report(report, fmt: str) -> str:
+    if fmt == "sarif":
+        return json.dumps(report.to_sarif(), indent=2) + "\n"
+    if fmt == "json":
+        return json.dumps(report.to_json_dict(), indent=2, sort_keys=True) + "\n"
+    return report.render_text()
+
+
+def emit(text: str, out: Optional[str]) -> None:
+    if out:
+        Path(out).write_text(text, encoding="utf-8")
+    else:
+        print(text, end="")
+
+
+def run_analysis_tool(
+    tool_name: str,
+    args: argparse.Namespace,
+    project=None,
+) -> int:
+    """Standard analyze → render → emit → baseline-gate driver."""
+    tool = get_tool(tool_name)
+    paths = [Path(p) for p in args.paths] if args.paths else None
+    try:
+        report = tool.analyze(paths=paths, project=project)
+    except FileNotFoundError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    emit(render_report(report, args.format), args.out)
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else tool.default_baseline
+    )
+    if args.write_baseline:
+        existing = (
+            tool.load_baseline(baseline_path) if baseline_path.exists() else {}
+        )
+        target = tool.write_baseline(report, baseline_path, existing=existing)
+        print(f"{tool_name}: baseline written to {target}", file=sys.stderr)
+        return 0
+    if args.check_baseline:
+        drift = tool.compare_baseline(report, tool.load_baseline(baseline_path))
+        print(drift.render_text(), end="", file=sys.stderr)
+        return 0 if drift.ok else 1
+    return 0
+
+
+def make_standalone_main(
+    tool_name: str, description: str
+) -> Callable[[Optional[List[str]]], int]:
+    """Build the ``main()`` of a ``tools/<tool>.py`` standalone runner."""
+
+    def main(argv: Optional[List[str]] = None) -> int:
+        parser = argparse.ArgumentParser(
+            prog=tool_name, description=description
+        )
+        add_analysis_arguments(parser)
+        return run_analysis_tool(tool_name, parser.parse_args(argv))
+
+    return main

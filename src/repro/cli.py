@@ -197,86 +197,46 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
 
 def cmd_keyflow(args: argparse.Namespace) -> int:
-    import json
-    from pathlib import Path
+    from repro.analysis.toolcli import run_analysis_tool
 
-    from repro.analysis.keyflow import (
-        analyze,
-        compare_baseline,
-        load_baseline,
-        write_baseline,
-    )
-    from repro.analysis.keyflow.baseline import DEFAULT_BASELINE_PATH
-
-    paths = [Path(p) for p in args.paths] if args.paths else None
-    try:
-        report = analyze(paths=paths)
-    except FileNotFoundError as exc:
-        print(exc, file=sys.stderr)
-        return 2
-
-    if args.format == "sarif":
-        _emit(json.dumps(report.to_sarif(), indent=2) + "\n", args.out)
-    elif args.format == "json":
-        _emit(
-            json.dumps(report.to_json_dict(), indent=2, sort_keys=True) + "\n",
-            args.out,
-        )
-    else:
-        _emit(report.render_text(), args.out)
-
-    baseline_path = Path(args.baseline) if args.baseline else DEFAULT_BASELINE_PATH
-    if args.write_baseline:
-        existing = load_baseline(baseline_path) if baseline_path.exists() else {}
-        target = write_baseline(report, baseline_path, existing=existing)
-        print(f"keyflow: baseline written to {target}", file=sys.stderr)
-        return 0
-    if args.check_baseline:
-        drift = compare_baseline(report, load_baseline(baseline_path))
-        print(drift.render_text(), end="", file=sys.stderr)
-        return 0 if drift.ok else 1
-    return 0
+    return run_analysis_tool("keyflow", args)
 
 
 def cmd_keystate(args: argparse.Namespace) -> int:
+    from repro.analysis.toolcli import run_analysis_tool
+
+    return run_analysis_tool("keystate", args)
+
+
+def cmd_keycount(args: argparse.Namespace) -> int:
+    from repro.analysis.toolcli import run_analysis_tool
+
+    return run_analysis_tool("keycount", args)
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
 
-    from repro.analysis.keystate import (
-        analyze,
-        compare_baseline,
-        load_baseline,
-        write_baseline,
-    )
-    from repro.analysis.keystate.baseline import DEFAULT_BASELINE_PATH
+    from repro.analysis.runall import run_all
 
     paths = [Path(p) for p in args.paths] if args.paths else None
     try:
-        report = analyze(paths=paths)
+        result = run_all(paths=paths, check=args.check)
     except FileNotFoundError as exc:
         print(exc, file=sys.stderr)
         return 2
-
     if args.format == "sarif":
-        _emit(json.dumps(report.to_sarif(), indent=2) + "\n", args.out)
+        _emit(json.dumps(result.to_sarif(), indent=2) + "\n", args.out)
     elif args.format == "json":
         _emit(
-            json.dumps(report.to_json_dict(), indent=2, sort_keys=True) + "\n",
+            json.dumps(result.to_json_dict(), indent=2, sort_keys=True) + "\n",
             args.out,
         )
     else:
-        _emit(report.render_text(), args.out)
-
-    baseline_path = Path(args.baseline) if args.baseline else DEFAULT_BASELINE_PATH
-    if args.write_baseline:
-        existing = load_baseline(baseline_path) if baseline_path.exists() else {}
-        target = write_baseline(report, baseline_path, existing=existing)
-        print(f"keystate: baseline written to {target}", file=sys.stderr)
-        return 0
-    if args.check_baseline:
-        drift = compare_baseline(report, load_baseline(baseline_path))
-        print(drift.render_text(), end="", file=sys.stderr)
-        return 0 if drift.ok else 1
+        _emit(result.render_text(), args.out)
+    if args.check:
+        return 0 if result.ok else 1
     return 0
 
 
@@ -677,33 +637,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max diagnostics to list individually")
     taint.set_defaults(func=cmd_taint)
 
+    from repro.analysis.toolcli import add_analysis_arguments
+
     keyflow = sub.add_parser(
         "keyflow",
         help="static interprocedural taint analysis of key material",
     )
-    keyflow.add_argument(
-        "paths", nargs="*",
-        help="files/directories to analyze (default: the repro package)",
-    )
-    keyflow.add_argument(
-        "--format", choices=("text", "json", "sarif"), default="text",
-        help="report format (default: text)",
-    )
-    keyflow.add_argument(
-        "--out", default=None, help="write the report to a file instead of stdout",
-    )
-    keyflow.add_argument(
-        "--baseline", default=None,
-        help="baseline JSON path (default: the packaged baseline)",
-    )
-    keyflow.add_argument(
-        "--check-baseline", action="store_true",
-        help="exit 1 on drift: any new finding or stale baseline entry",
-    )
-    keyflow.add_argument(
-        "--write-baseline", action="store_true",
-        help="rewrite the baseline from this run (keeps justifications)",
-    )
+    add_analysis_arguments(keyflow)
     keyflow.set_defaults(func=cmd_keyflow)
 
     keystate = sub.add_parser(
@@ -711,30 +651,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="static interprocedural typestate verification of the "
              "mitigation-API lifecycle",
     )
-    keystate.add_argument(
+    add_analysis_arguments(keystate)
+    keystate.set_defaults(func=cmd_keystate)
+
+    keycount = sub.add_parser(
+        "keycount",
+        help="quantitative static copy-bound analysis per protection level",
+    )
+    add_analysis_arguments(keycount)
+    keycount.set_defaults(func=cmd_keycount)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="run the whole static stack (keylint+KeyFlow+KeyState+"
+             "KeyCount) over one shared IR build with merged SARIF",
+    )
+    analyze.add_argument(
         "paths", nargs="*",
         help="files/directories to analyze (default: the repro package)",
     )
-    keystate.add_argument(
+    analyze.add_argument(
         "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (default: text)",
     )
-    keystate.add_argument(
-        "--out", default=None, help="write the report to a file instead of stdout",
+    analyze.add_argument(
+        "--out", default=None,
+        help="write the report to a file instead of stdout",
     )
-    keystate.add_argument(
-        "--baseline", default=None,
-        help="baseline JSON path (default: the packaged baseline)",
+    analyze.add_argument(
+        "--check", action="store_true",
+        help="exit 1 on any keylint violation or baseline drift",
     )
-    keystate.add_argument(
-        "--check-baseline", action="store_true",
-        help="exit 1 on drift: any new finding or stale baseline entry",
-    )
-    keystate.add_argument(
-        "--write-baseline", action="store_true",
-        help="rewrite the baseline from this run (keeps justifications)",
-    )
-    keystate.set_defaults(func=cmd_keystate)
+    analyze.set_defaults(func=cmd_analyze)
 
     lint = sub.add_parser(
         "lint", help="keylint: AST secret-hygiene lint (KeySan static pass)"

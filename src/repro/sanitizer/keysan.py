@@ -32,10 +32,15 @@ from __future__ import annotations
 
 import sys
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from repro.sanitizer.lifecycle import LifecycleMonitor
-from repro.sanitizer.report import TaintDiagnostic, TaintReport
+from repro.sanitizer.report import (
+    REGION_CLASS_OF,
+    CopyRecord,
+    TaintDiagnostic,
+    TaintReport,
+)
 from repro.sanitizer.shadow import ShadowMap
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -505,6 +510,7 @@ class KeySan:
         report._snapshot = snapshot
         if patterns is not None:
             report._patterns = dict(patterns.patterns)
+            copy_pages: Dict[int, Set[str]] = {}
             for name, pattern in patterns.items():
                 tracked = untracked = 0
                 pos = snapshot.find(pattern)
@@ -513,10 +519,25 @@ class KeySan:
                         tracked += 1
                     else:
                         untracked += 1
+                    copy_pages.setdefault(pos // page_size, set()).add(name)
                     # Non-overlapping, like the scanner's extent rule.
                     pos = snapshot.find(pattern, pos + len(pattern))
                 report.full_copies[name] = tracked
                 report.untracked_copies[name] = untracked
+            # Page-grouped copy records: the unit of the quantitative
+            # dynamic census KeyCount's static bounds must dominate.
+            for page in sorted(copy_pages):
+                region = self._region_of(page)
+                _, origins = self._range_summary(page * page_size, page_size)
+                report.copies.append(
+                    CopyRecord(
+                        page=page,
+                        region=region,
+                        region_class=REGION_CLASS_OF.get(region, "allocated"),
+                        patterns=tuple(sorted(copy_pages[page])),
+                        origins=origins,
+                    )
+                )
             # Swap-device census (the scanner cannot see the device).
             swap_image = self.kernel.swap.raw_dump()
             for name, pattern in patterns.items():

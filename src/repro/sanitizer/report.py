@@ -100,6 +100,40 @@ class CrossCheckResult:
         return "\n".join(lines)
 
 
+#: KeySan page region -> KeyCount static region class.
+REGION_CLASS_OF = {
+    "user": "allocated",
+    "kernel_buffer": "allocated",
+    "reserved": "allocated",
+    "free": "freed",
+    "pagecache": "pagecache",
+}
+
+#: Region classes of the static/dynamic copy census, in report order
+#: (mirrors ``repro.analysis.keycount.config.REGION_CLASSES``).
+COPY_CENSUS_REGIONS = ("allocated", "freed", "pagecache", "swap")
+
+
+@dataclass(frozen=True)
+class CopyRecord:
+    """One physical page holding at least one full key-pattern copy.
+
+    The unit of the quantitative census is the *page*, not the pattern
+    match: the paper counts "copies of the key" by where they live, and
+    six CRT parts packed into one aligned page are one copy, not six.
+    This is also the unit KeyCount's static bounds are stated in."""
+
+    page: int
+    #: KeySan region of the page (user/pagecache/kernel_buffer/free/…).
+    region: str
+    #: Static region class the page counts toward (allocated/freed/…).
+    region_class: str
+    #: Pattern names with a full copy starting in this page.
+    patterns: Tuple[str, ...]
+    #: Call sites that planted the page's tainted bytes.
+    origins: Tuple[str, ...]
+
+
 @dataclass
 class TaintReport:
     """Ground-truth taint state of the whole machine at one instant."""
@@ -115,6 +149,8 @@ class TaintReport:
     untracked_copies: Dict[str, int] = field(default_factory=dict)
     #: Tainted fragments that carry no full copy (partial leaks).
     fragments: int = 0
+    #: Distinct physical pages holding full key-pattern copies.
+    copies: List[CopyRecord] = field(default_factory=list)
     #: Pattern name -> occurrences in the raw swap device image.
     swap_hits: Dict[str, int] = field(default_factory=dict)
     diagnostics: List[TaintDiagnostic] = field(default_factory=list)
@@ -125,6 +161,21 @@ class TaintReport:
     _snapshot: bytes = b""
     #: Pattern name -> pattern bytes, kept for cross_check.
     _patterns: Dict[str, bytes] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def copy_census(self) -> Dict[str, int]:
+        """Dynamic copy count per static region class, plus ``total``.
+
+        Counts distinct pages from :attr:`copies` (grouped by
+        :data:`REGION_CLASS_OF`) and swap-device pattern hits — the
+        exact quantity KeyCount's per-level static bounds must
+        dominate (``dynamic <= static`` at every ProtectionLevel)."""
+        census = {region: 0 for region in COPY_CENSUS_REGIONS}
+        for record in self.copies:
+            census[record.region_class] += 1
+        census["swap"] = sum(self.swap_hits.values())
+        census["total"] = sum(census[region] for region in COPY_CENSUS_REGIONS)
+        return census
 
     # ------------------------------------------------------------------
     def observed_sites(self, prefix: str = "repro.") -> List[str]:

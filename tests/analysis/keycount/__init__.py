@@ -1,0 +1,1 @@
+"""KeyCount: quantitative static copy-bound analysis tests."""

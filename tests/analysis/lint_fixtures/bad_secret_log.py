@@ -1,0 +1,25 @@
+"""Fixture: secret-in-log must flag every logging call below."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+def leak_producer_to_print(bn):
+    print("private exponent:", bn.to_bytes())  # VIOLATION: producer call
+
+
+def leak_crt_part_to_logger(rsa):
+    logger.debug("p=%s q=%s", rsa.p, rsa.q)  # VIOLATION: CRT parts
+
+
+def leak_via_fstring(key):
+    logger.info(f"loaded key d={key.d}")  # VIOLATION: f-string CRT part
+
+
+def leak_unambiguous_part(blob):
+    logging.warning("residue %r", blob.dmp1)  # VIOLATION: dmp1 anywhere
+
+
+def leak_via_keyword(rsa):
+    logger.log(10, "dump", extra={"pem": rsa.pem_encode()})  # VIOLATION

@@ -1,0 +1,32 @@
+"""Fixture: logging that stays clean under secret-in-log."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+def log_metadata_only(key):
+    # Lengths, fingerprints and public fields are fine.
+    logger.info("loaded %d-bit key", key.bits)
+    print("modulus size:", len(key.n_bytes))
+
+
+def log_public_parts(rsa):
+    # n and e are public; d/p/q on a non-key base are not flagged.
+    logger.debug("n=%s e=%s", rsa.n, rsa.e)
+    point = make_point()
+    logger.debug("probe at %s,%s", point.p, point.q)
+
+
+def secret_stays_out_of_logs(bn):
+    material = bn.to_bytes()
+    digest = fingerprint(material)
+    logger.info("key fingerprint %s", digest)
+
+
+def make_point():
+    return object()
+
+
+def fingerprint(data):
+    return len(data)

@@ -75,6 +75,24 @@ class TestRulesFire:
     def test_mont_clear_accepts_clearing_drop(self):
         assert lint_file(FIXTURES / "good_mont_clear.py") == []
 
+    def test_secret_in_log_flags_logged_key_material(self):
+        violations = lint_file(FIXTURES / "bad_secret_log.py")
+        assert rules_in(violations) == {"secret-in-log"}
+        # producer via print, %-args, f-string, unambiguous CRT part,
+        # and a producer buried in a keyword argument
+        assert len(violations) == 5
+        assert all("log" in v.message for v in violations)
+
+    def test_secret_in_log_accepts_metadata_logging(self):
+        assert lint_file(FIXTURES / "good_secret_log.py") == []
+
+    def test_secret_in_log_needs_key_looking_base_for_short_parts(self):
+        # point.p is a coordinate, key.p is a CRT prime
+        clean = "def f(logger, point):\n    logger.info('%s', point.p)\n"
+        dirty = "def f(logger, key):\n    logger.info('%s', key.p)\n"
+        assert lint_source(clean, "f.py") == []
+        assert rules_in(lint_source(dirty, "f.py")) == {"secret-in-log"}
+
     def test_every_rule_has_a_firing_fixture(self):
         violations = lint_paths([FIXTURES])
         assert rules_in(violations) == set(RULE_NAMES)

@@ -1,0 +1,86 @@
+"""The analyze meta-command: four layers, one IR build, one SARIF."""
+
+import json
+
+import pytest
+
+from repro.analysis import runall
+from repro.analysis.ir.project import Project
+from repro.analysis.runall import LAYERS, run_all
+from repro.analysis.sarif import merge_sarif_logs, validate_sarif
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_all(check=True)
+
+
+class TestRunAll:
+    def test_layer_roster(self):
+        assert LAYERS == ("keylint", "keyflow", "keystate", "keycount")
+
+    def test_shipped_tree_passes_the_gate(self, result):
+        assert result.violations == []
+        assert all(drift.ok for drift in result.drifts.values())
+        assert result.ok
+
+    def test_every_ir_layer_produced_a_report(self, result):
+        assert set(result.reports) == {"keyflow", "keystate", "keycount"}
+        for report in result.reports.values():
+            assert report.findings is not None
+
+    def test_merged_sarif_has_one_run_per_layer(self, result):
+        doc = result.to_sarif()
+        names = [run["tool"]["driver"]["name"] for run in doc["runs"]]
+        assert names == list(LAYERS)
+        assert validate_sarif(doc) == []
+
+    def test_json_payload_serializes(self, result):
+        payload = json.loads(json.dumps(result.to_json_dict(), sort_keys=True))
+        assert set(payload["layers"]) == set(LAYERS)
+
+    def test_text_report_sections_every_layer(self, result):
+        text = result.render_text()
+        for layer in LAYERS:
+            assert layer in text
+
+    def test_single_shared_project_build(self, monkeypatch):
+        calls = []
+        original = Project.load.__func__
+
+        def counting_load(cls, *args, **kwargs):
+            calls.append(1)
+            return original(cls, *args, **kwargs)
+
+        monkeypatch.setattr(Project, "load", classmethod(counting_load))
+        run_all()
+        assert sum(calls) == 1
+
+
+class TestMergeSarif:
+    def test_merge_concatenates_runs(self):
+        a = {"version": "2.1.0", "$schema": "s", "runs": [{"x": 1}]}
+        b = {"version": "2.1.0", "$schema": "s", "runs": [{"y": 2}, {"z": 3}]}
+        merged = merge_sarif_logs([a, b])
+        assert merged["runs"] == [{"x": 1}, {"y": 2}, {"z": 3}]
+        assert merged["version"] == "2.1.0"
+
+    def test_merge_rejects_empty_input(self):
+        with pytest.raises(ValueError):
+            merge_sarif_logs([])
+
+
+class TestGateFailure:
+    def test_lint_violation_fails_the_gate(self, tmp_path):
+        (tmp_path / "dirty.py").write_text(
+            "def f(bn_free, rsa):\n    bn_free(rsa.d)\n", encoding="utf-8"
+        )
+        result = run_all(paths=[tmp_path], check=True)
+        assert not result.ok
+        assert any(v.rule == "bn-free" for v in result.violations)
+
+    def test_missing_path_raises(self):
+        from pathlib import Path
+
+        with pytest.raises(FileNotFoundError):
+            run_all(paths=[Path("/nonexistent/tree")])

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Standalone combined runner: the whole static stack, one IR build.
+
+Usage::
+
+    python tools/analyze.py                          # text summary
+    python tools/analyze.py --check                  # CI gate
+    python tools/analyze.py --format sarif --out analysis.sarif
+
+Runs keylint → KeyFlow → KeyState → KeyCount over a single shared
+project parse (instead of four independent ones) and emits one merged
+multi-run SARIF document.  ``--check`` gates on keylint violations and
+on baseline drift in each IR layer, exiting 1 on any failure — this is
+the single entry point CI's ``analyze`` job calls.  Equivalent to
+``python -m repro analyze``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.analysis.runall import run_all  # noqa: E402
+from repro.analysis.toolcli import emit  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="analyze",
+        description="run keylint + KeyFlow + KeyState + KeyCount over "
+                    "one shared IR build, merging SARIF output",
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files/directories to analyze (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="write the report to a file instead of stdout",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 on any keylint violation or baseline drift",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        result = run_all(paths=args.paths or None, check=args.check)
+    except FileNotFoundError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    if args.format == "sarif":
+        emit(json.dumps(result.to_sarif(), indent=2) + "\n", args.out)
+    elif args.format == "json":
+        emit(
+            json.dumps(result.to_json_dict(), indent=2, sort_keys=True) + "\n",
+            args.out,
+        )
+    else:
+        emit(result.render_text(), args.out)
+
+    if args.check:
+        return 0 if result.ok else 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Standalone KeyCount runner: static copy-bound analysis over a tree.
+
+Usage::
+
+    python tools/keycount.py [PATH ...]             # default: src/repro
+    python tools/keycount.py --check-baseline       # CI drift gate
+    python tools/keycount.py --format json          # bounds as JSON
+
+The text report prints the per-ProtectionLevel static copy-bound table
+(allocated / freed / pagecache / swap, symbolic in the connection
+count N) followed by the copy-site inventory.  Exit status with
+``--check-baseline`` is 1 on any drift.  Equivalent to ``python -m
+repro keycount`` but importable-path independent.  All argument and
+baseline plumbing lives in :mod:`repro.analysis.toolcli`.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.analysis.toolcli import make_standalone_main  # noqa: E402
+
+main = make_standalone_main(
+    "keycount",
+    "quantitative static copy-bound analysis per protection level",
+)
+
+if __name__ == "__main__":
+    sys.exit(main())

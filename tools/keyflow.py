@@ -10,13 +10,12 @@ Usage::
 Exit status with ``--check-baseline`` is 1 on any drift (new finding
 or stale baseline entry), so it slots directly into CI.  Equivalent to
 ``python -m repro keyflow`` but importable-path independent: it
-locates the repository's ``src`` next to itself.
+locates the repository's ``src`` next to itself.  All argument and
+baseline plumbing lives in :mod:`repro.analysis.toolcli`.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
 from pathlib import Path
 
@@ -25,74 +24,11 @@ SRC = REPO_ROOT / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
-from repro.analysis.keyflow import (  # noqa: E402
-    analyze,
-    compare_baseline,
-    load_baseline,
-    write_baseline,
+from repro.analysis.toolcli import make_standalone_main  # noqa: E402
+
+main = make_standalone_main(
+    "keyflow", "interprocedural static taint analysis of key material"
 )
-from repro.analysis.keyflow.baseline import DEFAULT_BASELINE_PATH  # noqa: E402
-
-
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="keyflow",
-        description="interprocedural static taint analysis of key material",
-    )
-    parser.add_argument(
-        "paths", nargs="*", type=Path, default=None,
-        help="files or directories to analyze (default: src/repro)",
-    )
-    parser.add_argument(
-        "--format", choices=("text", "json", "sarif"), default="text",
-        help="report format (default: text)",
-    )
-    parser.add_argument(
-        "--out", type=Path, default=None,
-        help="write the report to a file instead of stdout",
-    )
-    parser.add_argument(
-        "--baseline", type=Path, default=DEFAULT_BASELINE_PATH,
-        help="baseline JSON path (default: the packaged baseline)",
-    )
-    parser.add_argument(
-        "--check-baseline", action="store_true",
-        help="exit 1 on drift: any new finding or stale baseline entry",
-    )
-    parser.add_argument(
-        "--write-baseline", action="store_true",
-        help="rewrite the baseline from this run (keeps justifications)",
-    )
-    args = parser.parse_args(argv)
-
-    try:
-        report = analyze(paths=args.paths or None)
-    except FileNotFoundError as exc:
-        print(exc, file=sys.stderr)
-        return 2
-
-    if args.format == "sarif":
-        rendered = json.dumps(report.to_sarif(), indent=2) + "\n"
-    elif args.format == "json":
-        rendered = json.dumps(report.to_json_dict(), indent=2, sort_keys=True) + "\n"
-    else:
-        rendered = report.render_text()
-    if args.out:
-        args.out.write_text(rendered, encoding="utf-8")
-    else:
-        print(rendered, end="")
-
-    if args.write_baseline:
-        existing = load_baseline(args.baseline) if args.baseline.exists() else {}
-        target = write_baseline(report, args.baseline, existing=existing)
-        print(f"keyflow: baseline written to {target}", file=sys.stderr)
-        return 0
-    if args.check_baseline:
-        drift = compare_baseline(report, load_baseline(args.baseline))
-        print(drift.render_text(), end="", file=sys.stderr)
-        return 0 if drift.ok else 1
-    return 0
-
 
 if __name__ == "__main__":
     sys.exit(main())

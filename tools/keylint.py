@@ -4,15 +4,20 @@
 Usage::
 
     python tools/keylint.py [PATH ...]     # default: src/repro
+    python tools/keylint.py --format sarif --out keylint.sarif
 
 Exit status is 1 when any violation is found, so it slots directly
 into CI.  Equivalent to ``python -m repro lint`` but importable-path
 independent: it locates the repository's ``src`` next to itself.
+Output plumbing is shared with the other layers via
+:mod:`repro.analysis.toolcli` (keylint has no baseline: its gate is
+zero violations).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -21,7 +26,8 @@ SRC = REPO_ROOT / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
-from repro.analysis.lint import lint_paths, render_report  # noqa: E402
+from repro.analysis.lint import lint_paths, render_report, render_sarif  # noqa: E402
+from repro.analysis.toolcli import emit  # noqa: E402
 
 
 def main(argv=None) -> int:
@@ -32,13 +38,24 @@ def main(argv=None) -> int:
         "paths", nargs="*", type=Path, default=[SRC / "repro"],
         help="files or directories to lint (default: src/repro)",
     )
+    parser.add_argument(
+        "--format", choices=("text", "sarif"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="write the report to a file instead of stdout",
+    )
     args = parser.parse_args(argv)
     try:
         violations = lint_paths(args.paths)
     except FileNotFoundError as exc:
         print(exc, file=sys.stderr)
         return 2
-    print(render_report(violations))
+    if args.format == "sarif":
+        emit(json.dumps(render_sarif(violations), indent=2) + "\n", args.out)
+    else:
+        emit(render_report(violations) + "\n", args.out)
     return 1 if violations else 0
 
 

@@ -103,6 +103,30 @@ class FailedRun:
 RETRY_BACKOFF_BASE_S = 0.05
 
 
+def corpus_pairs(specs: Sequence[RunSpec]) -> List[Tuple[int, int]]:
+    """Unique ``(key_bits, seed)`` pairs a spec list will boot with."""
+    seen: Dict[Tuple[int, int], None] = {}
+    for spec in specs:
+        seen.setdefault((spec.key_bits, derive_seed(spec)), None)
+    return list(seen)
+
+
+def prewarm_corpus(specs: Sequence[RunSpec]) -> int:
+    """Generate every key a spec list needs into the process-local
+    key corpus (:mod:`repro.crypto.keycorpus`).
+
+    Call this *before* :func:`run_specs` when the grid will be swept
+    more than once in-process (regression benches, repeated CLI runs)
+    or when timing serial against parallel: worker processes fork from
+    this process and inherit the warm corpus, so neither side of the
+    comparison pays Miller–Rabin keygen inside the timed region.
+    Returns the number of keys actually generated.
+    """
+    from repro.crypto.keycorpus import prewarm
+
+    return prewarm(corpus_pairs(specs))
+
+
 def derive_seed(spec: RunSpec) -> int:
     """Collision-free 64-bit seed from the full spec tuple.
 
@@ -336,43 +360,64 @@ def run_specs(
             for start in range(0, len(indexed), size)
         ]
         done = 0
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                (pool.submit(_run_chunk, chunk, runner), chunk)
-                for chunk in chunks
-            ]
-            for future, chunk in futures:
-                remaining = None
-                if deadline is not None:
-                    remaining = max(0.0, deadline - time.monotonic())
-                try:
-                    for slot, result in future.result(timeout=remaining):
-                        if isinstance(result, RunOutcome):
-                            outcomes[slot] = result
-                        else:
-                            errors[slot] = str(result)
-                except FutureTimeout:
-                    future.cancel()
-                    for index, _spec in chunk:
-                        errors[index] = "timeout"
-                except Exception as exc:  # worker died (BrokenProcessPool, ...)
-                    for index, _spec in chunk:
-                        errors[index] = f"worker crashed: {type(exc).__name__}"
-                done += len(chunk)
-                if report_progress:
-                    _tick(done)
+        crashed = False
+        pool = _get_pool()
+        futures = [
+            (pool.submit(_run_chunk, chunk, runner), chunk)
+            for chunk in chunks
+        ]
+        for future, chunk in futures:
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            try:
+                for slot, result in future.result(timeout=remaining):
+                    if isinstance(result, RunOutcome):
+                        outcomes[slot] = result
+                    else:
+                        errors[slot] = str(result)
+            except FutureTimeout:
+                future.cancel()
+                for index, _spec in chunk:
+                    errors[index] = "timeout"
+            except Exception as exc:  # worker died (BrokenProcessPool, ...)
+                crashed = True
+                for index, _spec in chunk:
+                    errors[index] = f"worker crashed: {type(exc).__name__}"
+            done += len(chunk)
+            if report_progress:
+                _tick(done)
+        if crashed:
+            _reset_pool()  # a broken executor cannot take new work
         return errors
 
-    errors = _one_pass(list(enumerate(specs)), report_progress=True)
-    attempts = 1
-    backoff_s = 0.0
-    for attempt in range(1, retries + 1):
-        if not errors:
-            break
-        backoff_s += RETRY_BACKOFF_BASE_S * (2 ** (attempt - 1))
-        retry_indexed = [(index, specs[index]) for index in sorted(errors)]
-        errors = _one_pass(retry_indexed, report_progress=False)
-        attempts += 1
+    # One pool serves every pass: executor spawn (and the workers'
+    # interpreter boot) is a per-sweep cost, not a per-attempt one.
+    pool_box: List[Optional[ProcessPoolExecutor]] = [None]
+
+    def _get_pool() -> ProcessPoolExecutor:
+        if pool_box[0] is None:
+            pool_box[0] = ProcessPoolExecutor(max_workers=workers)
+        return pool_box[0]
+
+    def _reset_pool() -> None:
+        if pool_box[0] is not None:
+            pool_box[0].shutdown(wait=False, cancel_futures=True)
+            pool_box[0] = None
+
+    try:
+        errors = _one_pass(list(enumerate(specs)), report_progress=True)
+        attempts = 1
+        backoff_s = 0.0
+        for attempt in range(1, retries + 1):
+            if not errors:
+                break
+            backoff_s += RETRY_BACKOFF_BASE_S * (2 ** (attempt - 1))
+            retry_indexed = [(index, specs[index]) for index in sorted(errors)]
+            errors = _one_pass(retry_indexed, report_progress=False)
+            attempts += 1
+    finally:
+        _reset_pool()
     failures = [
         FailedRun(specs[index], errors[index],
                   attempts=attempts, backoff_s=backoff_s)

@@ -28,7 +28,11 @@ from repro.crypto.rsa import RsaKey
 # One shared overlapping-search implementation (also used by
 # PhysicalMemory.find_all and the incremental scanner); re-exported
 # here because dump analysis is where every attack imports it from.
-from repro.mem.bytesearch import find_all_occurrences
+from repro.mem.bytesearch import (
+    find_all_occurrences,
+    find_all_sparse,
+    nonzero_intervals,
+)
 
 __all__ = [
     "AttackResult",
@@ -93,11 +97,73 @@ class KeyPatternSet:
     # searching
     # ------------------------------------------------------------------
     def count_in(self, data: bytes) -> Dict[str, int]:
-        """Occurrences of each pattern in ``data``."""
+        """Occurrences of each pattern in ``data``.
+
+        One shared zero-skipping pass bounds every pattern's search to
+        the data-bearing stretches — identical counts to a full search
+        (dumps are mostly zero RAM, so this is the hot-path win).
+        """
+        intervals = nonzero_intervals(data)
         return {
-            name: len(find_all_occurrences(data, pattern))
+            name: len(find_all_sparse(data, pattern, intervals))
             for name, pattern in self.patterns.items()
         }
+
+    def count_in_segments(self, segments: Tuple[bytes, ...]) -> Dict[str, int]:
+        """Occurrences of each pattern in the *concatenation* of
+        ``segments`` — without materialising the concatenation.
+
+        Each segment is searched in place (sparsely, like
+        :meth:`count_in`); matches straddling a segment boundary are
+        found in a small junction window of ``len(pattern) - 1`` bytes
+        around each boundary, attributed to the first boundary they
+        cross so nothing double-counts.  Byte-identical to
+        ``count_in(b"".join(segments))``.
+        """
+        segs = [segment for segment in segments if segment]
+        counts = {name: 0 for name in self.patterns}
+        if not segs:
+            return counts
+        interval_lists = [nonzero_intervals(segment) for segment in segs]
+        boundaries: List[int] = []
+        position = 0
+        for segment in segs[:-1]:
+            position += len(segment)
+            boundaries.append(position)
+        for name, pattern in self.patterns.items():
+            total = sum(
+                len(find_all_sparse(segment, pattern, intervals))
+                for segment, intervals in zip(segs, interval_lists)
+            )
+            length = len(pattern)
+            if length > 1:
+                previous = 0
+                for boundary in boundaries:
+                    lo = max(previous, boundary - (length - 1))
+                    hi = boundary + (length - 1)
+                    window = self._slice_concat(segs, lo, hi)
+                    for offset in find_all_occurrences(window, pattern):
+                        start = lo + offset
+                        if start < boundary < start + length:
+                            total += 1
+                    previous = boundary
+            counts[name] = total
+        return counts
+
+    @staticmethod
+    def _slice_concat(segs: List[bytes], lo: int, hi: int) -> bytes:
+        """Bytes ``[lo, hi)`` of the segments' virtual concatenation."""
+        parts: List[bytes] = []
+        base = 0
+        for segment in segs:
+            if base >= hi:
+                break
+            seg_lo = max(lo, base) - base
+            seg_hi = min(hi, base + len(segment)) - base
+            if seg_lo < seg_hi:
+                parts.append(segment[seg_lo:seg_hi])
+            base += len(segment)
+        return b"".join(parts)
 
     def locate_in(self, data: bytes) -> List[Tuple[int, str]]:
         """All ``(offset, pattern_name)`` hits, sorted by offset."""

@@ -35,7 +35,9 @@ class NttyDumpAttack:
         """One exploitation + search of the dumped window."""
         start_mark = self.kernel.clock.now_us
         dump = self.kernel.ntty.dump(rng)
-        counts = self.patterns.count_in(dump.data)
+        # Search the dump's segments in place: same counts as searching
+        # the joined window, minus the up-to-192 MB concatenation copy.
+        counts = self.patterns.count_in_segments(dump.segments)
         if self.kernel.keysan is not None:
             # The dump is a window over physical RAM: the shadow map
             # knows exactly which of its bytes were key material.

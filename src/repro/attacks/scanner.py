@@ -154,8 +154,15 @@ class MemoryScanner:
         if incremental and self._cached_gens is not None:
             rescanned = self._rescan_dirty(gens)
         else:
+            # One shared zero-skipping pass bounds every pattern's
+            # search to the data-bearing stretches of RAM — identical
+            # results to a full find_all per pattern at a fraction of
+            # the cost (most frames are zero).
+            intervals = physmem.nonzero_intervals()
             for name, pattern in self.patterns.items():
-                self._occurrences[name] = physmem.find_all(self._prefix(pattern))
+                self._occurrences[name] = physmem.find_all_sparse(
+                    self._prefix(pattern), intervals
+                )
             rescanned = physmem.size
         self._cached_gens = gens
 
@@ -187,8 +194,9 @@ class MemoryScanner:
         assert self._cached_gens is not None
         cached = self._cached_gens
         dirty = [
-            frame for frame in range(physmem.num_frames)
-            if gens[frame] != cached[frame]
+            frame
+            for frame, (now, then) in enumerate(zip(gens, cached))
+            if now != then
         ]
         if not dirty:
             return 0
@@ -227,10 +235,15 @@ class MemoryScanner:
     def _extent(view, offset: int, pattern: bytes) -> int:
         """Bytes of ``pattern`` matching at ``offset`` (>= the prefix)."""
         end = min(len(view), offset + len(pattern))
+        n = end - offset
+        chunk = bytes(view[offset:end])
+        if chunk == pattern[:n]:
+            return n
+        # Truncated copy: locate the first divergent byte.  Only runs
+        # for partial matches, so the per-byte loop stays off the hot
+        # path (a full match is one memcmp above).
         matched = 0
-        for position in range(offset, end):
-            if view[position] != pattern[matched]:
-                break
+        while chunk[matched] == pattern[matched]:
             matched += 1
         return matched
 

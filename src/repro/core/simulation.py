@@ -34,10 +34,9 @@ from repro.core.protection import (
     kernel_config_for,
     policy_for,
 )
-from repro.crypto.asn1 import encode_rsa_private_key
-from repro.crypto.pem import pem_encode
+from repro.crypto.keycorpus import key_material
 from repro.crypto.randsrc import DeterministicRandom
-from repro.crypto.rsa import RsaKey, generate_rsa_key
+from repro.crypto.rsa import RsaKey
 from repro.errors import WorkloadError
 from repro.kernel.fs import SimFileSystem
 from repro.kernel.kernel import Kernel
@@ -118,13 +117,15 @@ class Simulation:
                 hold_fraction=self.config.age_hold_fraction,
             )
 
-        # Key material + PEM file on the root filesystem.
-        self.key: RsaKey = generate_rsa_key(self.config.key_bits, self.keygen_rng)
-        der = encode_rsa_private_key(
-            self.key.n, self.key.e, self.key.d, self.key.p, self.key.q,
-            self.key.dmp1, self.key.dmq1, self.key.iqmp,
-        )
-        self.pem: bytes = pem_encode(der)
+        # Key material + PEM file on the root filesystem.  Fetched
+        # through the per-process key corpus: byte-identical to calling
+        # generate_rsa_key(key_bits, self.keygen_rng) here (fork_stream
+        # is stateless, so the corpus derives the very same stream),
+        # but repeated (key_bits, seed) runs — every sweep repetition —
+        # skip the Miller–Rabin regrind.
+        material = key_material(self.config.key_bits, self.config.seed)
+        self.key: RsaKey = material.key
+        self.pem: bytes = material.pem
         self.patterns = KeyPatternSet.from_key(self.key, self.pem)
 
         # Taint mode: register the secrets before the PEM file exists

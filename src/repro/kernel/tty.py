@@ -16,8 +16,8 @@ this strictly stronger than the ext2 leak.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.errors import AttackError
 
@@ -36,13 +36,33 @@ COVERAGE_MAX = 0.75
 
 @dataclass
 class NttyDump:
-    """One successful exploitation: a window of physical memory."""
+    """One successful exploitation: a window of physical memory.
+
+    The window is held as one or two ``segments`` (two when it wraps
+    at the top of RAM) snapshotted at exploit time; searching them
+    segment-wise (:meth:`~repro.attacks.keysearch.KeyPatternSet.count_in_segments`)
+    avoids materialising the up-to-192 MB concatenation.  ``data``
+    still exposes the joined window for consumers that want it.
+    """
 
     start: int
     length: int
-    data: bytes
     #: Fraction of physical memory this dump covered.
     coverage: float
+    #: The disclosed bytes: ``[start, start+n)`` and, if the window
+    #: wrapped past the top of RAM, the wrapped ``[0, rest)`` tail.
+    segments: Tuple[bytes, ...] = ()
+    _joined: Optional[bytes] = field(default=None, repr=False)
+
+    @property
+    def data(self) -> bytes:
+        """The full window as one byte string (joined lazily)."""
+        if self._joined is None:
+            self._joined = (
+                self.segments[0] if len(self.segments) == 1
+                else b"".join(self.segments)
+            )
+        return self._joined
 
 
 class NttyVulnerability:
@@ -86,13 +106,14 @@ class NttyVulnerability:
         # mitigation success rates of Figures 7b and 18.
         start = rng.randrange(0, physmem.size)
         if start + length <= physmem.size:
-            data = physmem.read(start, length)
+            segments = (physmem.read(start, length),)
         else:
             tail = physmem.size - start
-            data = physmem.read(start, tail) + physmem.read(0, length - tail)
+            segments = (physmem.read(start, tail), physmem.read(0, length - tail))
         # Disclosing 128 MB through the tty takes real time; charge it
         # so the "< 1 minute" latency claim can be checked.
         self.kernel.clock.charge_transfer(length)
         return NttyDump(
-            start=start, length=length, data=data, coverage=length / physmem.size
+            start=start, length=length,
+            coverage=length / physmem.size, segments=segments,
         )

@@ -17,7 +17,11 @@ from __future__ import annotations
 from typing import Iterator, List, Sequence, Tuple
 
 from repro.errors import BadAddressError
-from repro.mem.bytesearch import find_all_occurrences
+from repro.mem.bytesearch import (
+    find_all_occurrences,
+    find_all_sparse,
+    nonzero_intervals,
+)
 
 #: Page size in bytes.  Matches the x86 kernel the paper patched.
 PAGE_SIZE = 4096
@@ -170,6 +174,26 @@ class PhysicalMemory:
         scan would also re-match at every byte offset).
         """
         return find_all_occurrences(self._data, pattern, start, end)
+
+    def nonzero_intervals(self) -> List[Tuple[int, int]]:
+        """Maximal ``[lo, hi)`` byte ranges holding any nonzero data.
+
+        One cheap pass over RAM that every pattern of a multi-pattern
+        scan can share through :meth:`find_all_sparse` — most of a
+        machine's memory is zero-filled and never worth searching.
+        """
+        return nonzero_intervals(self._data)
+
+    def find_all_sparse(
+        self, pattern: bytes, intervals: List[Tuple[int, int]]
+    ) -> List[int]:
+        """:meth:`find_all`, probing only around ``intervals``.
+
+        ``intervals`` must come from :meth:`nonzero_intervals` (taken
+        while RAM was in its current state); the result is then
+        byte-identical to a full :meth:`find_all` pass.
+        """
+        return find_all_sparse(self._data, pattern, intervals)
 
     def iter_frames(self) -> Iterator[Tuple[int, bytes]]:
         """Yield ``(frame_number, content)`` for every frame."""

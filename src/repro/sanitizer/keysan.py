@@ -41,7 +41,7 @@ from repro.sanitizer.report import (
     TaintDiagnostic,
     TaintReport,
 )
-from repro.sanitizer.shadow import ShadowMap
+from repro.sanitizer.shadow import MAX_ORIGIN_ID, MAX_TAG_ID, ShadowMap
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.attacks.keysearch import KeyPatternSet
@@ -154,8 +154,8 @@ class KeySan:
         if name in self._tags_by_name:
             raise ValueError(f"secret {name!r} already registered")
         tag_id = len(self.tags) + 1
-        if tag_id > 0xFF:
-            raise ValueError("too many registered secrets (max 255)")
+        if tag_id > MAX_TAG_ID:
+            raise ValueError(f"too many registered secrets (max {MAX_TAG_ID})")
         tag = TaintTag(tag_id, name, bytes(secret),
                        _build_anchors(bytes(secret), self.window))
         self.tags[tag_id] = tag
@@ -211,8 +211,8 @@ class KeySan:
     def _origin_id(self, site: str) -> int:
         origin = self._origins.get(site)
         if origin is None:
-            if len(self._origin_names) > 0xFF:
-                return 0xFF  # interning table full; collapse the tail
+            if len(self._origin_names) > MAX_ORIGIN_ID:
+                return MAX_ORIGIN_ID  # interning table full; collapse the tail
             origin = len(self._origin_names)
             self._origins[site] = origin
             self._origin_names.append(site)
@@ -344,6 +344,8 @@ class KeySan:
         if cleared:
             return  # zero-on-free already scrubbed (and untainted) it
         page_size = self.kernel.physmem.page_size
+        if not self.shadow.any_in(head * page_size, (1 << order) * page_size):
+            return  # one block-level probe gates the per-frame walk
         for frame in range(head, head + (1 << order)):
             base = frame * page_size
             if not self.shadow.any_in(base, page_size):
@@ -485,14 +487,15 @@ class KeySan:
                     report.by_region.get(region, 0) + run.length
                 )
 
-        # Page-cache residue: tainted file pages still resident.
-        for frame in range(physmem.num_frames):
+        # Page-cache residue: tainted file pages still resident.  Only
+        # tainted frames can qualify, so walk the shadow's tainted
+        # chunks instead of every frame of the machine.
+        for start, _ in self.shadow.iter_tainted_chunks(page_size):
+            frame = start // page_size
             page = self.kernel.page(frame)
             if not page.in_pagecache:
                 continue
             base = frame * page_size
-            if not self.shadow.any_in(base, page_size):
-                continue
             tags, origins = self._range_summary(base, page_size)
             report.diagnostics.append(
                 TaintDiagnostic(

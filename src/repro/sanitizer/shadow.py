@@ -1,15 +1,22 @@
 """Byte-granular taint shadow over simulated physical memory.
 
-Two parallel byte arrays mirror the machine's RAM:
+Two parallel flat arrays mirror the machine's RAM:
 
 * ``tags``    — which secret each byte currently carries (0 = clean);
-* ``origins`` — which simulated call site planted that byte.
+  a :class:`bytearray`, one byte per RAM byte (up to 255 secrets);
+* ``origins`` — which simulated call site planted that byte; an
+  ``array('H')``, one 16-bit id per RAM byte, so long campaigns can
+  intern up to 65535 distinct call sites (the old single-byte shadow
+  died with ``ValueError`` past 255).
 
-Both are plain :class:`bytearray`\\ s, so bulk operations (clearing a
-frame, copying a frame for COW, counting taint in a freed block) run
-as C-speed slice assignments — the shadow adds near-zero overhead to
-the paths it instruments, mirroring how hardware-assisted taint
-trackers keep shadow memory flat.
+Flat arrays mean bulk operations (clearing a frame, copying a frame
+for COW, counting taint in a freed block) run as C-speed slice
+assignments — the shadow adds near-zero overhead to the paths it
+instruments, mirroring how hardware-assisted taint trackers keep
+shadow memory flat.  Queries gallop: clean stretches are skipped with
+:func:`~repro.mem.bytesearch.first_nonzero` block compares and
+same-tag/same-origin runs are measured with compiled repeated-unit
+patterns, so nothing iterates Python-per-byte on the hot paths.
 
 Tag and origin values are small integer ids; the interning tables live
 in :class:`~repro.sanitizer.keysan.KeySan`, keeping this module a pure
@@ -18,8 +25,34 @@ mechanism with no knowledge of keys or kernels.
 
 from __future__ import annotations
 
+import re
+from array import array
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Dict, Iterator, List, Pattern, Tuple
+
+from repro.mem.bytesearch import first_nonzero
+
+#: Highest internable call-site id (16-bit origin shadow entries).
+MAX_ORIGIN_ID = 0xFFFF
+
+#: Highest registrable secret id (tag shadow entries stay one byte).
+MAX_TAG_ID = 0xFF
+
+_H_ZERO = array("H", (0,))
+
+#: Compiled ``(?:unit)+`` patterns by repeat unit, for run measurement.
+_RUN_CACHE: Dict[bytes, Pattern[bytes]] = {}
+
+
+def _run_pattern(unit: bytes) -> Pattern[bytes]:
+    pattern = _RUN_CACHE.get(unit)
+    if pattern is None:
+        if len(_RUN_CACHE) > 512:
+            _RUN_CACHE.clear()
+        pattern = _RUN_CACHE[unit] = re.compile(
+            b"(?:" + re.escape(unit) + b")+"
+        )
+    return pattern
 
 
 @dataclass(frozen=True)
@@ -44,7 +77,7 @@ class ShadowMap:
             raise ValueError("shadow size must be positive")
         self.size = size
         self._tags = bytearray(size)
-        self._origins = bytearray(size)
+        self._origins = array("H", bytes(2 * size))
 
     # ------------------------------------------------------------------
     # mutation
@@ -58,17 +91,18 @@ class ShadowMap:
     def set_range(self, addr: int, length: int, tag_id: int, origin_id: int) -> None:
         """Taint ``length`` bytes at ``addr`` with one tag/origin pair."""
         self._check(addr, length)
-        if not 0 < tag_id <= 0xFF or not 0 <= origin_id <= 0xFF:
-            raise ValueError("tag/origin ids must fit one shadow byte")
+        if not 0 < tag_id <= MAX_TAG_ID:
+            raise ValueError(f"tag id must be in [1, {MAX_TAG_ID}]")
+        if not 0 <= origin_id <= MAX_ORIGIN_ID:
+            raise ValueError(f"origin id must be in [0, {MAX_ORIGIN_ID}]")
         self._tags[addr : addr + length] = bytes([tag_id]) * length
-        self._origins[addr : addr + length] = bytes([origin_id]) * length
+        self._origins[addr : addr + length] = array("H", (origin_id,)) * length
 
     def clear_range(self, addr: int, length: int) -> None:
         """Untaint ``length`` bytes at ``addr`` (they were overwritten)."""
         self._check(addr, length)
-        zeros = bytes(length)
-        self._tags[addr : addr + length] = zeros
-        self._origins[addr : addr + length] = zeros
+        self._tags[addr : addr + length] = bytes(length)
+        self._origins[addr : addr + length] = _H_ZERO * length
 
     def copy_range(self, src: int, dst: int, length: int) -> None:
         """Propagate taint along a memory-to-memory copy (COW, memcpy)."""
@@ -99,44 +133,60 @@ class ShadowMap:
         return self._tags[addr]
 
     def runs_in(self, addr: int, length: int) -> List[TaintRun]:
-        """Maximal same-tag/same-origin tainted runs inside the range."""
+        """Maximal same-tag/same-origin tainted runs inside the range.
+
+        Clean stretches are galloped over with block compares and run
+        lengths are measured with compiled ``(?:unit)+`` repetitions —
+        one C-speed match per run, never Python-per-byte.  The origin
+        run matches 2-byte units over the raw ``array('H')`` buffer;
+        starting at an even byte offset and consuming exact units, it
+        can never fall out of entry alignment.
+        """
         self._check(addr, length)
         runs: List[TaintRun] = []
         tags = self._tags
         origins = self._origins
-        pos = addr
-        end = addr + length
-        while pos < end:
-            # Fast-forward over clean bytes using C-speed find of the
-            # first nonzero... bytearray has no such primitive, so skip
-            # clean spans page-at-a-time via count().
-            if tags[pos] == 0:
-                span = min(256, end - pos)
-                while span and tags[pos : pos + span].count(0) == span:
-                    pos += span
-                    span = min(256, end - pos)
+        origin_bytes = memoryview(origins).cast("B")
+        try:
+            pos = addr
+            end = addr + length
+            while pos < end:
+                pos = first_nonzero(tags, pos, end)
                 if pos >= end:
                     break
-                while tags[pos] == 0:
-                    pos += 1
-            tag = tags[pos]
-            origin = origins[pos]
-            run_start = pos
-            while pos < end and tags[pos] == tag and origins[pos] == origin:
-                pos += 1
-            runs.append(TaintRun(run_start, pos - run_start, tag, origin))
+                tag = tags[pos]
+                tag_end = _run_pattern(bytes([tag])).match(tags, pos, end).end()
+                while pos < tag_end:
+                    origin = origins[pos]
+                    unit = bytes(origin_bytes[2 * pos : 2 * pos + 2])
+                    match = _run_pattern(unit).match(
+                        origin_bytes, 2 * pos, 2 * tag_end
+                    )
+                    run_end = match.end() // 2
+                    runs.append(TaintRun(pos, run_end - pos, tag, origin))
+                    pos = run_end
+        finally:
+            origin_bytes.release()
         return runs
 
     def iter_tainted_chunks(self, chunk: int = 4096) -> Iterator[Tuple[int, int]]:
         """Yield ``(start, length)`` for every ``chunk``-aligned window
         containing at least one tainted byte — the fast outer loop for
-        whole-memory report generation."""
+        whole-memory report generation.  Clean memory costs galloping
+        block compares, not a per-chunk census."""
         if chunk <= 0:
             raise ValueError("chunk must be positive")
-        for start in range(0, self.size, chunk):
-            length = min(chunk, self.size - start)
-            if self._tags[start : start + length].count(0) != length:
-                yield start, length
+        tags = self._tags
+        size = self.size
+        pos = 0
+        while pos < size:
+            tainted = first_nonzero(tags, pos, size)
+            if tainted >= size:
+                return
+            start = (tainted // chunk) * chunk
+            length = min(chunk, size - start)
+            yield start, length
+            pos = start + length
 
     def total_tainted(self) -> int:
         return self.size - self._tags.count(0)

@@ -1,0 +1,97 @@
+"""Segment-wise dump search == searching the joined dump.
+
+``NttyDump`` now carries its (up to two, on physical-address wrap)
+raw segments and the attack searches them in place — the old path
+joined them into an up-to-192 MB copy first.  The junction-window
+logic must count boundary-straddling matches exactly once.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.keysearch import KeyPatternSet
+from repro.core.simulation import Simulation, SimulationConfig
+
+
+def _patterns():
+    return KeyPatternSet(
+        {"d": b"\xaa" * 8, "p": b"\xbb\xcc" * 4, "q": b"\x01",
+         "pem": b"PEMPEM"},
+    )
+
+
+@st.composite
+def _segments(draw):
+    count = draw(st.integers(1, 4))
+    segs = []
+    for _ in range(count):
+        size = draw(st.integers(0, 600))
+        buf = bytearray(size)
+        for _ in range(draw(st.integers(0, 3))):
+            if size == 0:
+                break
+            offset = draw(st.integers(0, size - 1))
+            span = draw(st.sampled_from([
+                b"\xaa" * 8, b"\xbb\xcc" * 4, b"\x01\x01", b"PEMPEM",
+                b"\xaa" * 4,  # half a pattern: straddle fodder
+                b"\xcc\xbb\xcc",
+            ]))
+            buf[offset : offset + len(span)] = span[: size - offset]
+        segs.append(bytes(buf))
+    return tuple(segs)
+
+
+class TestCountInSegments:
+    @settings(max_examples=120, deadline=None, derandomize=True)
+    @given(segments=_segments())
+    def test_identical_to_joined_count(self, segments):
+        patterns = _patterns()
+        assert patterns.count_in_segments(segments) == \
+            patterns.count_in(b"".join(segments))
+
+    def test_match_straddling_one_boundary_counts_once(self):
+        patterns = _patterns()
+        segments = (bytes(64) + b"\xaa" * 5, b"\xaa" * 3 + bytes(64))
+        counts = patterns.count_in_segments(segments)
+        assert counts["d"] == 1
+        assert counts == patterns.count_in(b"".join(segments))
+
+    def test_match_spanning_two_boundaries_counts_once(self):
+        patterns = _patterns()
+        # The 8-byte "d" pattern crosses BOTH boundaries of the middle
+        # 2-byte segment — first-boundary attribution must count it once.
+        segments = (bytes(32) + b"\xaa" * 3, b"\xaa" * 2, b"\xaa" * 3 + bytes(32))
+        counts = patterns.count_in_segments(segments)
+        assert counts["d"] == 1
+        assert counts == patterns.count_in(b"".join(segments))
+
+    def test_empty_segments_are_transparent(self):
+        patterns = _patterns()
+        segments = (b"", bytes(16) + b"\xaa" * 8, b"", b"\xaa" * 8)
+        assert patterns.count_in_segments(segments) == \
+            patterns.count_in(b"".join(segments))
+        assert patterns.count_in_segments(()) == \
+            {name: 0 for name in patterns.patterns}
+
+
+class TestNttyDumpSegments:
+    def test_dump_data_joins_segments_lazily(self):
+        sim = Simulation(SimulationConfig(memory_mb=8, key_bits=256, seed=3))
+        sim.start_server()
+        rng = sim.attack_rng.fork_stream("segtest")
+        dump = sim.kernel.ntty.dump(rng)
+        assert dump.segments
+        assert sum(len(s) for s in dump.segments) == dump.length
+        assert dump.data == b"".join(dump.segments)
+
+    def test_segment_counts_match_joined_counts_on_real_dumps(self):
+        sim = Simulation(
+            SimulationConfig(memory_mb=8, key_bits=256, seed=11)
+        )
+        sim.start_server()
+        sim.cycle_connections(4)
+        rng = sim.attack_rng.fork_stream("segtest2")
+        for _ in range(5):
+            dump = sim.kernel.ntty.dump(rng)
+            assert sim.patterns.count_in_segments(dump.segments) == \
+                sim.patterns.count_in(dump.data)

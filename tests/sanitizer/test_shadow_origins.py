@@ -1,0 +1,81 @@
+"""Regression: long campaigns intern more than 255 call sites.
+
+``ShadowMap`` origins used to live in a one-byte-per-RAM-byte
+``bytearray``; ``set_range`` raised ``ValueError`` for any origin id
+above 0xFF, so a campaign whose KeySan interned its 256th distinct
+call site died mid-run.  Origins are now 16-bit (``array('H')``):
+65535 call sites, same flat-slice C-speed semantics.
+"""
+
+import pytest
+
+from repro.core.simulation import Simulation, SimulationConfig
+from repro.sanitizer.shadow import MAX_ORIGIN_ID, MAX_TAG_ID, ShadowMap
+
+
+class TestWideOrigins:
+    def test_origin_ids_above_255_round_trip(self):
+        shadow = ShadowMap(4096)
+        for origin_id in (0, 255, 256, 1000, MAX_ORIGIN_ID):
+            shadow.set_range(0, 128, 1, origin_id)
+            runs = shadow.runs_in(0, 4096)
+            assert [(r.start, r.length, r.origin_id) for r in runs] == \
+                [(0, 128, origin_id)]
+
+    def test_adjacent_wide_origins_stay_distinct_runs(self):
+        shadow = ShadowMap(1024)
+        shadow.set_range(0, 100, 1, 300)
+        shadow.set_range(100, 100, 1, 301)
+        runs = shadow.runs_in(0, 1024)
+        assert [(r.start, r.length, r.tag_id, r.origin_id) for r in runs] == [
+            (0, 100, 1, 300),
+            (100, 100, 1, 301),
+        ]
+
+    def test_copy_range_preserves_wide_origins(self):
+        shadow = ShadowMap(1024)
+        shadow.set_range(0, 64, 2, 40_000)
+        shadow.copy_range(0, 512, 64)
+        runs = shadow.runs_in(512, 64)
+        assert [(r.tag_id, r.origin_id) for r in runs] == [(2, 40_000)]
+
+    def test_out_of_range_ids_still_rejected(self):
+        shadow = ShadowMap(64)
+        with pytest.raises(ValueError):
+            shadow.set_range(0, 8, 0, 1)  # tag 0 means "clean"
+        with pytest.raises(ValueError):
+            shadow.set_range(0, 8, MAX_TAG_ID + 1, 1)
+        with pytest.raises(ValueError):
+            shadow.set_range(0, 8, 1, MAX_ORIGIN_ID + 1)
+        with pytest.raises(ValueError):
+            shadow.set_range(0, 8, 1, -1)
+
+
+class TestKeySanManySites:
+    def test_interning_300_call_sites_does_not_die(self):
+        """The end-to-end regression: >255 distinct origins through the
+        KeySan interning table and into the shadow, no ValueError."""
+        sim = Simulation(
+            SimulationConfig(taint=True, memory_mb=8, key_bits=256, seed=5)
+        )
+        keysan = sim.keysan
+        sites = 300
+        ids = [keysan._origin_id(f"test.site_{index}") for index in range(sites)]
+        assert len(set(ids)) == sites
+        assert max(ids) > 0xFF
+
+        # The highest interned id must be usable in the shadow.
+        keysan.shadow.set_range(0, 64, 1, max(ids))
+        runs = keysan.shadow.runs_in(0, 64)
+        assert runs[0].origin_id == max(ids)
+        assert keysan.origin_name(max(ids)) == f"test.site_{sites - 1}"
+
+    def test_interning_table_collapses_only_past_65535(self):
+        sim = Simulation(
+            SimulationConfig(taint=True, memory_mb=8, key_bits=256, seed=5)
+        )
+        keysan = sim.keysan
+        keysan._origin_names.extend(
+            f"filler.site_{index}" for index in range(MAX_ORIGIN_ID)
+        )
+        assert keysan._origin_id("one.too.many") == MAX_ORIGIN_ID

@@ -42,6 +42,15 @@ from §4 of the paper:
     never learns it failed.  Handlers must at least record the failure
     (a counter, a log entry) or re-raise.
 
+``wall-clock-in-sim``
+    ``time.time()``/``time.sleep()``/``datetime.now()`` (and friends)
+    inside the simulator proper (``faults/``, ``kernel/``, ``apps/``,
+    ``core/``).  The simulation runs on :class:`SimClock` virtual
+    microseconds; a wall-clock read smuggles host nondeterminism into
+    supposedly seeded, byte-identical runs — restart backoffs, soak
+    reports and fault schedules must tick virtual time only.  Harness
+    code (``analysis/``, the CLI) may time itself with the real clock.
+
 Every rule honours a ``# keylint: ignore[rule]`` comment on the
 flagged line (``ignore[*]`` silences all rules for that line); use it
 where a violation is deliberate, e.g. in negative-path tests.
@@ -68,6 +77,7 @@ RULE_NAMES = (
     "swallowed-error",
     "mont-clear",
     "secret-in-log",
+    "wall-clock-in-sim",
 )
 
 #: Identifier tokens that mark a value as key material.  An argument
@@ -116,6 +126,21 @@ RAW_BYTES_ALLOWED = ("attacks/", "sanitizer/", "analysis/", "core/simulation.py"
 #: Functions that *are* the allocation primitives (wrapper definitions
 #: legitimately call the lower layer without an mlock).
 MEMALIGN_DEFINERS = frozenset({"memalign", "posix_memalign"})
+
+#: Path fragments that run *inside* the deterministic simulation and
+#: therefore must never read the host wall clock.  Harness code
+#: (``analysis/``, the CLI, tools) legitimately times itself.
+WALL_CLOCK_SCOPED = ("faults/", "kernel/", "apps/", "core/")
+
+#: ``time`` module members that read or burn host wall-clock time.
+WALL_CLOCK_TIME_FUNCS = frozenset(
+    {"time", "time_ns", "monotonic", "monotonic_ns", "sleep",
+     "perf_counter", "perf_counter_ns", "process_time",
+     "process_time_ns"}
+)
+
+#: ``datetime``/``date`` constructors that capture "now".
+WALL_CLOCK_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
 
 _IGNORE_RE = re.compile(r"#\s*keylint:\s*ignore\[([\w*,\s-]+)\]")
 
@@ -243,6 +268,15 @@ class _FileLinter(ast.NodeVisitor):
         self._raw_bytes_exempt = any(
             frag in rel_path for frag in RAW_BYTES_ALLOWED
         )
+        self._wall_clock_scoped = any(
+            frag in rel_path for frag in WALL_CLOCK_SCOPED
+        )
+        #: Local aliases of the ``time`` / ``datetime`` modules and of
+        #: wall-clock functions imported by name (``from time import
+        #: sleep as nap`` -> ``nap``).
+        self._time_aliases: Set[str] = set()
+        self._datetime_aliases: Set[str] = set()
+        self._clock_name_imports: Set[str] = set()
         #: Function nesting stack of (name, memalign calls, has mlock).
         self._func_stack: List[Tuple[str, List[ast.Call], bool]] = []
 
@@ -290,10 +324,60 @@ class _FileLinter(ast.NodeVisitor):
         self._visit_scope(node, "<lambda>")
 
     # ------------------------------------------------------------------
+    # imports: wall-clock alias bookkeeping
+    # ------------------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            if alias.name in ("time", "datetime"):
+                if alias.name == "time":
+                    self._time_aliases.add(local)
+                else:
+                    self._datetime_aliases.add(local)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name in WALL_CLOCK_TIME_FUNCS:
+                    self._clock_name_imports.add(alias.asname or alias.name)
+        elif node.module == "datetime":
+            for alias in node.names:
+                if alias.name in ("datetime", "date"):
+                    self._datetime_aliases.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    def _check_wall_clock(self, node: ast.Call, name: Optional[str]) -> None:
+        if not self._wall_clock_scoped or name is None:
+            return
+        func = node.func
+        hit: Optional[str] = None
+        if isinstance(func, ast.Attribute):
+            base_tokens = _identifier_tokens(func.value)
+            if name in WALL_CLOCK_TIME_FUNCS and base_tokens & self._time_aliases:
+                hit = f"time.{name}()"
+            elif (
+                name in WALL_CLOCK_DATETIME_FUNCS
+                and base_tokens & self._datetime_aliases
+            ):
+                hit = f"datetime.{name}()"
+        elif isinstance(func, ast.Name) and name in self._clock_name_imports:
+            hit = f"{name}()"
+        if hit is not None:
+            self._flag(
+                node,
+                "wall-clock-in-sim",
+                f"{hit} reads the host wall clock inside the simulator; "
+                f"simulated components must charge SimClock virtual "
+                f"microseconds so seeded runs stay byte-identical",
+            )
+
+    # ------------------------------------------------------------------
     # calls: bn-free, snapshot-scope, memalign-mlock bookkeeping
     # ------------------------------------------------------------------
     def visit_Call(self, node: ast.Call) -> None:
         name = _call_name(node)
+        self._check_wall_clock(node, name)
         if name == "bn_free" and node.args:
             tokens = _identifier_tokens(node.args[0])
             hits = sorted(tokens & SECRET_TOKENS)
@@ -504,6 +588,11 @@ RULE_DESCRIPTIONS: Dict[str, str] = {
         "print()/logging call embeds raw key bytes (secret-producer "
         "call or CRT-part attribute); log lines are unscrubbable "
         "copies."
+    ),
+    "wall-clock-in-sim": (
+        "Host wall-clock read (time.time/sleep/monotonic, "
+        "datetime.now) inside the simulator; use SimClock virtual "
+        "time."
     ),
 }
 

@@ -99,6 +99,11 @@ class ApacheServer:
         self.master: Optional["Process"] = None
         self.master_rsa: Optional[RsaStruct] = None
         self.workers: List[ApacheWorker] = []
+        #: Which key/service generation this master serves; bumped by
+        #: the supervisor on every restart.
+        self.incarnation = 0
+        #: Hard kills of the whole service (see :meth:`crash`).
+        self.crashes = 0
         self.total_requests = 0
         self._next_worker = 0
         #: Requests failed by a fault; the worker was recycled.
@@ -166,6 +171,29 @@ class ApacheServer:
             self.kernel.exit_process(self.master)
         self.master = None
         self.master_rsa = None
+
+    def crash(self) -> List[int]:
+        """``kill -9`` of the whole service tree.
+
+        No mod_ssl cleanup runs in any process: workers and master die
+        with their key copies (Montgomery caches included) intact in
+        their heaps, exit code 137.  The object is left stopped and
+        consistent so a supervisor can :meth:`start` a fresh
+        incarnation.  Returns the pids that died, oldest first.
+        """
+        killed: List[int] = []
+        for worker in list(self.workers):
+            if worker.process.alive:
+                self.kernel.exit_process(worker.process, code=137)
+                killed.append(worker.process.pid)
+        self.workers.clear()
+        if self.master is not None and self.master.alive:
+            self.kernel.exit_process(self.master, code=137)
+            killed.append(self.master.pid)
+        self.master = None
+        self.master_rsa = None
+        self.crashes += 1
+        return sorted(killed)
 
     # ------------------------------------------------------------------
     # worker pool

@@ -177,6 +177,12 @@ class OpenSSHServer:
         self.master: Optional["Process"] = None
         self.master_rsa: Optional[RsaStruct] = None
         self.connections: List[SshConnection] = []
+        #: Which key/service generation this listener serves; the
+        #: supervisor bumps it on every restart so post-mortem audits
+        #: can name the dead generation they are scanning for.
+        self.incarnation = 0
+        #: Hard kills of the whole service (see :meth:`crash`).
+        self.crashes = 0
         self.total_connections = 0
         #: Connections refused during setup (fork/exec/key-load fault).
         self.rejected_connections = 0
@@ -250,6 +256,33 @@ class OpenSSHServer:
             self.kernel.exit_process(self.master)
         self.master = None
         self.master_rsa = None
+
+    def crash(self) -> List[int]:
+        """``kill -9`` of the whole service tree — the restartable-
+        listener contract's failure entry point.
+
+        No cleanup handler runs anywhere: children and master exit with
+        their heaps intact (code 137), so only kernel-level clearing
+        stands between every key copy of this incarnation and the free
+        pool.  The server object is left stopped and internally
+        consistent — stale connection bookkeeping is reaped — so a
+        supervisor can :meth:`start` a fresh incarnation afterwards.
+        Returns the pids that died, oldest first.
+        """
+        killed: List[int] = []
+        for connection in list(self.connections):
+            if connection.child.alive:
+                self.kernel.exit_process(connection.child, code=137)
+                killed.append(connection.child.pid)
+            connection.closed = True
+        self.connections.clear()
+        if self.master is not None and self.master.alive:
+            self.kernel.exit_process(self.master, code=137)
+            killed.append(self.master.pid)
+        self.master = None
+        self.master_rsa = None
+        self.crashes += 1
+        return sorted(killed)
 
     # ------------------------------------------------------------------
     # connections

@@ -470,6 +470,71 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if campaign_ok(report) else 1
 
 
+def cmd_soak(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.faults.soak import run_soak, soak_ok
+
+    if args.level == "all":
+        levels = list(ProtectionLevel)
+    else:
+        levels = [ProtectionLevel(args.level)]
+
+    def progress(level: str, done: int, total: int) -> None:
+        sys.stderr.write(f"\r[soak:{level}] {done}/{total} schedules")
+        if done == total:
+            sys.stderr.write("\n")
+        sys.stderr.flush()
+
+    report = run_soak(
+        server=args.server,
+        levels=levels,
+        seed=args.seed,
+        schedules=args.schedules,
+        generations=args.generations,
+        faults_per_generation=args.faults,
+        connections=args.connections,
+        pressure_pages=args.pressure,
+        memory_mb=args.memory_mb,
+        key_bits=args.key_bits,
+        workers=args.workers,
+        progress=progress,
+    )
+    text = json.dumps(report, indent=2, sort_keys=True)
+    out = args.out
+    if out is None:
+        out = (Path("benchmarks") / "results" /
+               f"soak_{args.server}_{args.level}.json")
+    if str(out) == "-":
+        print(text)
+    else:
+        out = Path(out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n")
+    for level_name, data in report["levels"].items():
+        summary = data["summary"]
+        latency = summary["restart_latency_us"]
+        print(f"[{args.server} @ {level_name}] "
+              f"{summary['faults_fired']} faults fired over "
+              f"{summary['schedules']} schedules x "
+              f"{args.generations} generations: "
+              f"{summary['restarts']} restarts "
+              f"(max latency {latency['max']} virtual us), "
+              f"{summary['refused_connections']} refused, "
+              f"{summary['degraded_generations']} degraded, "
+              f"{summary['unhandled']} unhandled, "
+              f"{summary['invariant_violations']} invariant violations, "
+              f"{summary['leak_schedules']} leaking schedules "
+              f"({summary['cross_incarnation_taint_bytes']} "
+              f"cross-incarnation key bytes)")
+    invariant = report.get("invariant")
+    if invariant is not None:
+        verdict = "HOLDS" if invariant["holds"] else "VIOLATED"
+        print(f"integrated invariant {verdict}: {invariant['statement']}")
+    return 0 if soak_ok(report) else 1
+
+
 def cmd_scan(args: argparse.Namespace) -> int:
     sim = _loaded_sim(args)
     report = sim.scan()
@@ -626,6 +691,61 @@ def build_parser() -> argparse.ArgumentParser:
              "benchmarks/results/chaos_<server>_<level>.json)",
     )
     chaos.set_defaults(func=cmd_chaos)
+
+    soak = sub.add_parser(
+        "soak",
+        help="supervised crash-recovery soak: fault storms across many "
+             "kill -9/restart generations, post-mortem key audit and "
+             "steady-state invariants checked every generation",
+    )
+    soak.add_argument(
+        "--server", choices=("openssh", "apache"), default="openssh",
+        help="which server to run (default: openssh)",
+    )
+    soak.add_argument(
+        "--level",
+        choices=[level.value for level in ProtectionLevel] + ["all"],
+        default="integrated",
+        help="protection level to soak, or 'all' (default: integrated)",
+    )
+    soak.add_argument("--seed", type=int, default=42, help="campaign seed")
+    soak.add_argument(
+        "--schedules", type=int, default=50,
+        help="soak schedules (fresh machines) per level (default: 50)",
+    )
+    soak.add_argument(
+        "--generations", type=int, default=5,
+        help="crash/restart generations per schedule (default: 5)",
+    )
+    soak.add_argument(
+        "--faults", type=int, default=3,
+        help="fault events drawn per generation (default: 3)",
+    )
+    soak.add_argument(
+        "--connections", type=int, default=4,
+        help="connection cycles per generation (default: 4)",
+    )
+    soak.add_argument(
+        "--pressure", type=int, default=6,
+        help="pages reclaimed mid-generation to exercise the swap sites",
+    )
+    soak.add_argument(
+        "--memory-mb", type=int, default=8, help="machine RAM in MB"
+    )
+    soak.add_argument(
+        "--key-bits", type=int, default=256, help="RSA modulus size"
+    )
+    soak.add_argument(
+        "--workers", type=int, default=1,
+        help="parallel schedule workers (reports are byte-identical "
+             "for any value; default: 1)",
+    )
+    soak.add_argument(
+        "--out", default=None,
+        help="soak report path ('-' prints to stdout; default "
+             "benchmarks/results/soak_<server>_<level>.json)",
+    )
+    soak.set_defaults(func=cmd_soak)
 
     taint = sub.add_parser(
         "taint",

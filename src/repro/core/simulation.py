@@ -19,8 +19,9 @@ patches match the protection level, and instantiates the right server.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional, Union
+from typing import TYPE_CHECKING, Dict, Optional, Union
 
 from repro.apps.httpd import ApacheConfig, ApacheServer
 from repro.apps.sshd import OpenSSHServer, SshdConfig
@@ -84,6 +85,13 @@ class SimulationConfig:
     #: construction, so boot and memory aging never consume plan ticks:
     #: fault indices count workload-time operations only.
     fault_plan: Optional["FaultPlan"] = None
+    #: Namespace KeySan tags per key incarnation (``gen0.d``,
+    #: ``gen1.pem``, ...) so :meth:`Simulation.provision_key` can
+    #: register a fresh key per supervisor restart and post-mortem
+    #: audits can ask for a *dead* generation's bytes specifically.
+    #: Off by default: the flat tag names (``d``, ``pem``) every
+    #: existing report consumer expects stay unchanged.
+    incarnation_tags: bool = False
 
     def effective_root_fstype(self) -> str:
         if self.root_fstype is not None:
@@ -130,14 +138,19 @@ class Simulation:
 
         # Taint mode: register the secrets before the PEM file exists
         # anywhere, so even the mount-time page-cache preload is seen.
+        self.incarnation = 0
+        self.patterns_by_incarnation: Dict[int, KeyPatternSet] = {0: self.patterns}
         self.keysan = None
         if self.config.taint:
             from repro.sanitizer import KeySan
 
             self.keysan = KeySan.attach(self.kernel)
-            self.keysan.register_key(self.key, self.pem)
+            self.keysan.register_key(
+                self.key, self.pem, prefix=self.incarnation_prefix(0)
+            )
 
         key_path = SSH_KEY_PATH if self.config.server == "openssh" else APACHE_KEY_PATH
+        self._key_path = key_path
         self.root_fs = SimFileSystem(
             self.config.effective_root_fstype(), label="root"
         )
@@ -178,6 +191,63 @@ class Simulation:
             current = f"{current}/{part}" if current else part
             if current not in self.root_fs.dirs:
                 self.root_fs.dirs.add(current)
+
+    # ------------------------------------------------------------------
+    # key provisioning across incarnations
+    # ------------------------------------------------------------------
+    def incarnation_prefix(self, incarnation: int) -> str:
+        """KeySan tag-name prefix for one key generation ('' unless
+        :attr:`SimulationConfig.incarnation_tags` is set)."""
+        return f"gen{incarnation}." if self.config.incarnation_tags else ""
+
+    def _incarnation_seed(self, incarnation: int) -> int:
+        """Key-corpus seed for one generation; generation 0 is the
+        configured seed itself (byte-identical to a non-supervised
+        run), later generations derive via SHA-256."""
+        if incarnation == 0:
+            return self.config.seed
+        digest = hashlib.sha256(
+            f"repro-incarnation-v1|{self.config.seed}|{incarnation}".encode("ascii")
+        ).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def provision_key(self, incarnation: int) -> None:
+        """Install a fresh host key for the ``incarnation``-th service
+        generation: generate it, replace the PEM file *in place*,
+        invalidate the stale page-cache pages of the old PEM, and (in
+        taint mode) register the new secrets under a ``gen<n>.`` tag
+        prefix.  The next :meth:`start_server` loads the new key; scans
+        and attacks from here on target the new patterns.
+        """
+        if incarnation in self.patterns_by_incarnation:
+            raise WorkloadError(
+                f"incarnation {incarnation} was already provisioned"
+            )
+        if self.keysan is not None and not self.config.incarnation_tags:
+            raise WorkloadError(
+                "provision_key under taint requires incarnation_tags=True "
+                "(flat tag names would collide across generations)"
+            )
+        material = key_material(
+            self.config.key_bits, self._incarnation_seed(incarnation)
+        )
+        self.key, self.pem = material.key, material.pem
+        self.patterns = KeyPatternSet.from_key(self.key, self.pem)
+        self.patterns_by_incarnation[incarnation] = self.patterns
+        self.incarnation = incarnation
+        if self.keysan is not None:
+            self.keysan.register_key(
+                self.key, self.pem, prefix=self.incarnation_prefix(incarnation)
+            )
+        # write_file keeps the same file_id, so cached pages of the old
+        # PEM would otherwise keep serving (and leaking) stale key
+        # bytes: drop them explicitly, like the real key-rotation
+        # recipe's `sync; echo 1 > drop_caches` step.
+        file = self.root_fs.write_file(self._key_path, self.pem)
+        self.kernel.pagecache.invalidate(file.file_id)
+        self.server.incarnation = incarnation
+        self._scanner = MemoryScanner(self.kernel, self.patterns)
+        self._ntty = NttyDumpAttack(self.kernel, self.patterns)
 
     # ------------------------------------------------------------------
     # server driving

@@ -1,18 +1,38 @@
 """Deterministic fault injection (the chaos kernel).
 
-Exports the schedule/injector layer only; the campaign driver lives in
-:mod:`repro.faults.campaign` and is imported explicitly by the CLI (it
-pulls in the full simulation stack, which itself lazily imports this
-package — keeping it out of the package namespace avoids the cycle).
+Exports the schedule/injector layer and the supervision layer; the
+campaign drivers live in :mod:`repro.faults.campaign` (single-life
+chaos) and :mod:`repro.faults.soak` (multi-generation crash/restart
+soak) and are imported explicitly by the CLI — they pull in the full
+simulation stack, which itself lazily imports this package, so keeping
+them out of the package namespace avoids the cycle.
 """
 
 from repro.faults.injector import FaultInjector, FiredFault
 from repro.faults.plan import FAULT_SITES, SITE_HORIZONS, FaultPlan
+from repro.faults.supervisor import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    PostMortemAudit,
+    RestartPolicy,
+    Supervisor,
+    post_mortem_audit,
+)
 
 __all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "CircuitBreaker",
     "FAULT_SITES",
     "SITE_HORIZONS",
     "FaultInjector",
     "FaultPlan",
     "FiredFault",
+    "PostMortemAudit",
+    "RestartPolicy",
+    "Supervisor",
+    "post_mortem_audit",
 ]

@@ -16,7 +16,7 @@ flags.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Tuple
+from typing import Dict, Iterable, List, Mapping, Tuple, Union
 
 from repro.crypto.randsrc import DeterministicRandom
 
@@ -139,6 +139,50 @@ class FaultPlan:
             site = site_pool[rng.randrange(len(site_pool))]
             index = rng.randrange(horizons.get(site, 64))
             schedule.setdefault(site, set()).add(index)
+        return cls(schedule)
+
+    # ------------------------------------------------------------------
+    # composition — multi-generation fault storms
+    # ------------------------------------------------------------------
+    def shift(self, offsets: Union[int, Mapping[str, int]]) -> "FaultPlan":
+        """A new plan with every index moved later by ``offsets``.
+
+        ``offsets`` is either one non-negative offset applied to every
+        site or a per-site mapping (sites absent from the mapping keep
+        their indices).  Because a site's tick counter is cumulative
+        over the lifetime of one machine, shifting is how a schedule
+        drawn against per-generation horizons is re-aimed at the
+        *g*-th crash/restart generation of a soak run.
+        """
+        if isinstance(offsets, int):
+            offset_of = {site: offsets for site in self._schedule}
+        else:
+            offset_of = dict(offsets)
+        for site, offset in offset_of.items():
+            if site not in FAULT_SITES:
+                raise ValueError(f"unknown fault site {site!r}")
+            if offset < 0:
+                raise ValueError(f"negative shift for site {site!r}")
+        return FaultPlan(
+            {
+                site: [index + offset_of.get(site, 0) for index in fires]
+                for site, fires in self._schedule.items()
+            }
+        )
+
+    @classmethod
+    def compose(cls, plans: Iterable["FaultPlan"]) -> "FaultPlan":
+        """Union several plans into one schedule.
+
+        Duplicate ``(site, index)`` events collapse, exactly as in
+        :meth:`random`.  Composition order is irrelevant (set union),
+        so a composed soak storm is independent of the order its
+        per-generation plans were drawn in.
+        """
+        schedule: Dict[str, set] = {}
+        for plan in plans:
+            for site, fires in plan._schedule.items():
+                schedule.setdefault(site, set()).update(fires)
         return cls(schedule)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,465 @@
+"""Supervised crash-recovery: key custody across the crash boundary.
+
+The paper's threat model is that key material *outlives the process
+that owned it* — and nothing stresses that promise like the process
+actually dying.  The chaos layer (:mod:`repro.faults.campaign`) proves
+servers die cleanly; this module closes the loop of the lifecycle:
+
+* a :class:`Supervisor` detects a killed/faulted ``sshd``/``httpd``
+  service and restarts it under a **seeded retry-with-exponential-
+  backoff** policy (:class:`RestartPolicy`) — bounded attempts, a
+  :class:`CircuitBreaker` that trips to a degraded *refuse new
+  connections* state after N failures inside a sliding window, and
+  every delay charged to the simulated clock (virtual microseconds,
+  never the wall clock, so reports stay byte-identical);
+* each restart **re-provisions a fresh key** for the new incarnation
+  (:meth:`~repro.core.simulation.Simulation.provision_key`), the
+  rotation discipline "Security Through Amnesia" argues lifecycle
+  discontinuities demand;
+* after every death a **post-mortem key audit**
+  (:func:`post_mortem_audit`) scans the corpse's traces — the freed
+  frames and abandoned swap slots reported by the kernel's exit
+  reaping hook (:class:`~repro.kernel.process.ExitRecord`), the swap
+  device, and the page cache — for the dead incarnation's key bytes,
+  with the sparse pattern scanner and the KeySan shadow map
+  cross-checking each other.  A hit is a *cross-incarnation leak*:
+  exactly the harvest-a-dead-heap attack the OpenSSH memory-dump
+  literature demonstrates.
+
+At INTEGRATED protection every audit must come back clean; at NONE the
+same deaths leak the corpse's key through freed frames and the page
+cache — the paper's result restated across the crash boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.attacks.scanner import MIN_MATCH_BYTES, MemoryScanner
+from repro.crypto.randsrc import DeterministicRandom
+from repro.errors import ReproError, WorkloadError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.simulation import Simulation
+    from repro.kernel.process import ExitRecord
+
+#: Circuit-breaker states (the classic three-state machine).
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """Knobs of the supervised-restart loop (all time in virtual us)."""
+
+    #: Start attempts per recovery before giving up as degraded.
+    max_restarts: int = 8
+    #: First backoff delay; doubles (``backoff_factor``) per failure.
+    backoff_base_us: float = 1_000.0
+    backoff_factor: float = 2.0
+    backoff_cap_us: float = 64_000.0
+    #: Failures inside ``breaker_window_us`` that trip the breaker.
+    breaker_threshold: int = 3
+    breaker_window_us: float = 500_000.0
+    #: Open-state hold time before one half-open probe is allowed.
+    breaker_cooldown_us: float = 100_000.0
+
+    def backoff_us(
+        self, attempt: int, rng: Optional[DeterministicRandom] = None
+    ) -> float:
+        """Delay before retry ``attempt`` (1-based), with seeded jitter.
+
+        Jitter draws from ``rng`` (uniform in [0.5, 1.5)); passing the
+        same seeded stream replays the same schedule, which is what
+        keeps supervised runs byte-identical.
+        """
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        delay = min(
+            self.backoff_base_us * self.backoff_factor ** (attempt - 1),
+            self.backoff_cap_us,
+        )
+        if rng is not None:
+            delay *= 0.5 + rng.random()
+        return delay
+
+
+class CircuitBreaker:
+    """closed → open → half-open, on virtual time.
+
+    *Closed*: calls flow; each failure lands in a sliding window, and
+    ``threshold`` failures within ``window_us`` trip the breaker.
+    *Open*: everything is refused until ``cooldown_us`` has passed.
+    *Half-open*: one probe is let through — success closes the
+    breaker, failure re-opens it (and restarts the cooldown).
+    """
+
+    def __init__(
+        self, threshold: int, window_us: float, cooldown_us: float
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be at least 1")
+        if window_us <= 0 or cooldown_us <= 0:
+            raise ValueError("window and cooldown must be positive")
+        self.threshold = threshold
+        self.window_us = window_us
+        self.cooldown_us = cooldown_us
+        self.state = BREAKER_CLOSED
+        self._failures: List[float] = []
+        self._opened_at = 0.0
+        #: ``(state, virtual time)`` history, for tests and reports.
+        self.transitions: List[Tuple[str, float]] = []
+
+    def _move(self, state: str, now_us: float) -> None:
+        self.state = state
+        self.transitions.append((state, now_us))
+
+    def allow(self, now_us: float) -> bool:
+        """May a call proceed at virtual time ``now_us``?"""
+        if self.state == BREAKER_OPEN:
+            if now_us - self._opened_at >= self.cooldown_us:
+                self._move(BREAKER_HALF_OPEN, now_us)
+                return True
+            return False
+        return True
+
+    def cooldown_remaining(self, now_us: float) -> float:
+        """Virtual time left until an open breaker half-opens."""
+        if self.state != BREAKER_OPEN:
+            return 0.0
+        return max(0.0, self.cooldown_us - (now_us - self._opened_at))
+
+    def record_failure(self, now_us: float) -> None:
+        if self.state == BREAKER_OPEN:
+            return  # already broken; calls are refused while open
+        if self.state == BREAKER_HALF_OPEN:
+            # The probe failed: straight back to open, fresh cooldown.
+            self._trip(now_us)
+            return
+        self._failures.append(now_us)
+        self._failures = [
+            t for t in self._failures if now_us - t <= self.window_us
+        ]
+        if len(self._failures) >= self.threshold:
+            self._trip(now_us)
+
+    def record_success(self, now_us: float) -> None:
+        if self.state == BREAKER_HALF_OPEN:
+            self._move(BREAKER_CLOSED, now_us)
+        self._failures.clear()
+
+    def _trip(self, now_us: float) -> None:
+        self._failures.clear()
+        self._opened_at = now_us
+        self._move(BREAKER_OPEN, now_us)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CircuitBreaker(state={self.state}, failures={len(self._failures)})"
+
+
+@dataclass
+class PostMortemAudit:
+    """What one dead incarnation left behind, from four vantage points.
+
+    ``taint_census`` is the KeySan oracle (exact shadow bytes of the
+    dead generation's tags, by region); ``ram_hits_by_region`` is the
+    sparse pattern scan of all of RAM (what an attacker's scanmemory
+    would find); ``freed_frame_hits`` narrows the scan hits to frames
+    the exit reaping hook says the corpse's teardown freed;
+    ``swap_hits`` searches the raw swap device (including slots the
+    dead process abandoned).  Scanner and oracle cross-check: a scan
+    hit without oracle bytes (or vice versa, above scanner
+    sensitivity) would mean one of them is lying.
+    """
+
+    incarnation: int
+    prefix: str
+    #: KeySan: region -> {tag name -> tainted bytes} for the dead tags.
+    taint_census: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Sparse scan: region -> pattern hits (full + partial).
+    ram_hits_by_region: Dict[str, int] = field(default_factory=dict)
+    #: Scan hits inside frames the dead incarnation's teardown freed.
+    freed_frame_hits: int = 0
+    #: Dead-pattern prefix occurrences anywhere on the swap device.
+    swap_hits: int = 0
+    #: Frames the exit reaping hook attributed to this death.
+    reaped_frames: int = 0
+    #: Swap slots the dead processes abandoned (never released).
+    dropped_swap_slots: int = 0
+
+    @property
+    def taint_bytes(self) -> int:
+        return sum(
+            sum(tags.values()) for tags in self.taint_census.values()
+        )
+
+    @property
+    def ram_hits(self) -> int:
+        return sum(self.ram_hits_by_region.values())
+
+    @property
+    def clean(self) -> bool:
+        """No trace of the dead incarnation's key, by any detector."""
+        return (
+            self.taint_bytes == 0
+            and self.ram_hits == 0
+            and self.swap_hits == 0
+            and self.freed_frame_hits == 0
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "incarnation": self.incarnation,
+            "taint_bytes": self.taint_bytes,
+            "taint_census": {
+                region: dict(sorted(tags.items()))
+                for region, tags in sorted(self.taint_census.items())
+            },
+            "ram_hits": self.ram_hits,
+            "ram_hits_by_region": dict(sorted(self.ram_hits_by_region.items())),
+            "freed_frame_hits": self.freed_frame_hits,
+            "swap_hits": self.swap_hits,
+            "reaped_frames": self.reaped_frames,
+            "dropped_swap_slots": self.dropped_swap_slots,
+            "clean": self.clean,
+        }
+
+
+def post_mortem_audit(
+    sim: "Simulation",
+    incarnation: int,
+    exit_records: Sequence["ExitRecord"],
+) -> PostMortemAudit:
+    """Audit the machine for any trace of a dead incarnation's key."""
+    try:
+        patterns = sim.patterns_by_incarnation[incarnation]
+    except KeyError:
+        raise WorkloadError(
+            f"incarnation {incarnation} was never provisioned"
+        ) from None
+    audit = PostMortemAudit(
+        incarnation=incarnation,
+        prefix=sim.incarnation_prefix(incarnation),
+    )
+
+    freed_frames: set = set()
+    for record in exit_records:
+        freed_frames.update(record.freed_frames)
+        audit.dropped_swap_slots += len(record.dropped_swap_slots)
+    audit.reaped_frames = len(freed_frames)
+
+    # Sparse scan of all of RAM for the dead generation's patterns —
+    # the attacker's view (zero-skipping pass + prefix extension).
+    scan = MemoryScanner(sim.kernel, patterns).scan()
+    audit.ram_hits_by_region = scan.by_region()
+    audit.freed_frame_hits = sum(
+        1 for match in scan.matches if match.frame in freed_frames
+    )
+
+    # The swap device, which no RAM scan can see: dead-pattern prefixes
+    # anywhere, including slots the corpse abandoned and torn writes.
+    for _name, pattern in patterns.items():
+        audit.swap_hits += len(
+            sim.kernel.swap.find_pattern(pattern[:MIN_MATCH_BYTES])
+        )
+
+    # KeySan oracle cross-check: exact tainted bytes of the dead tags.
+    if sim.keysan is not None and audit.prefix:
+        audit.taint_census = sim.keysan.census_by_prefix(audit.prefix)
+    return audit
+
+
+class Supervisor:
+    """Deterministic service supervisor for one simulated machine.
+
+    Owns the restart policy, the circuit breaker, the post-mortem
+    audits, and a JSON-ready event log.  All scheduling happens on the
+    kernel's virtual clock; randomness (backoff jitter) comes from the
+    seeded stream handed in, so a supervised run replays exactly.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulation",
+        policy: Optional[RestartPolicy] = None,
+        rng: Optional[DeterministicRandom] = None,
+    ) -> None:
+        self.sim = sim
+        self.policy = policy if policy is not None else RestartPolicy()
+        self.rng = rng if rng is not None else DeterministicRandom(0)
+        self.breaker = CircuitBreaker(
+            self.policy.breaker_threshold,
+            self.policy.breaker_window_us,
+            self.policy.breaker_cooldown_us,
+        )
+        #: Refuse-new-connections mode (breaker open / restarts spent).
+        self.degraded = False
+        self.restarts = 0
+        self.refused_connections = 0
+        self.audits: List[PostMortemAudit] = []
+        self.events: List[Dict[str, object]] = []
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def _clock(self):
+        return self.sim.kernel.clock
+
+    def _note(self, kind: str, **fields: object) -> None:
+        event: Dict[str, object] = {"event": kind, "t_us": round(self._clock.now_us, 3)}
+        event.update(fields)
+        self.events.append(event)
+
+    @property
+    def running(self) -> bool:
+        return self.sim.server.running
+
+    def detect_failure(self) -> bool:
+        """The supervisor's poll: is the supervised service dead?"""
+        return not self.sim.server.running
+
+    def admit(self) -> bool:
+        """Admission control for new connections: refused while
+        degraded (the breaker's whole point) or while the service is
+        down awaiting recovery."""
+        if self.degraded or not self.sim.server.running:
+            self.refused_connections += 1
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # crash → audit → restart
+    # ------------------------------------------------------------------
+    def crash_service(self) -> List[int]:
+        """``kill -9`` the supervised service tree (no cleanup runs)."""
+        killed = self.sim.server.crash()
+        self._note(
+            "crash", incarnation=self.sim.incarnation, killed_pids=killed
+        )
+        return killed
+
+    def audit_corpse(self) -> PostMortemAudit:
+        """Drain the kernel's exit records and audit the machine for
+        the dead incarnation's key bytes.  Call after a detected death,
+        before re-provisioning."""
+        if self.sim.server.running:
+            raise WorkloadError("audit_corpse() while the service is running")
+        records = self.sim.kernel.drain_exit_records()
+        audit = post_mortem_audit(self.sim, self.sim.incarnation, records)
+        self.audits.append(audit)
+        self._note(
+            "post-mortem",
+            incarnation=audit.incarnation,
+            clean=audit.clean,
+            taint_bytes=audit.taint_bytes,
+            ram_hits=audit.ram_hits,
+            swap_hits=audit.swap_hits,
+            freed_frame_hits=audit.freed_frame_hits,
+        )
+        return audit
+
+    def start_service(self) -> Dict[str, object]:
+        """Supervised *initial* start of the current incarnation (no
+        key rotation) — same retry/backoff/breaker loop as a restart."""
+        return self._supervised_start()
+
+    def restart_service(self) -> Dict[str, object]:
+        """Provision the next incarnation's key and bring it up under
+        the restart policy.  Returns a JSON-ready attempt record."""
+        if self.sim.server.running:
+            raise WorkloadError("restart_service() while the service is running")
+        self.sim.provision_key(self.sim.incarnation + 1)
+        self._note("provisioned", incarnation=self.sim.incarnation)
+        return self._supervised_start()
+
+    def recover(self) -> Dict[str, object]:
+        """The full recovery arc after a detected death: post-mortem
+        audit, fresh key, supervised restart."""
+        audit = self.audit_corpse()
+        record = self.restart_service()
+        record["audit"] = audit.to_dict()
+        return record
+
+    def _supervised_start(self) -> Dict[str, object]:
+        t0 = self._clock.now_us
+        incarnation = self.sim.incarnation
+        attempts = 0
+        started = False
+        failures: List[str] = []
+        while attempts < self.policy.max_restarts:
+            if not self.breaker.allow(self._clock.now_us):
+                # Tripped mid-recovery: degrade instead of hammering.
+                break
+            attempts += 1
+            try:
+                self.sim.server.start()
+            except ReproError as exc:
+                failures.append(f"attempt{attempts}:{type(exc).__name__}")
+                self.breaker.record_failure(self._clock.now_us)
+                self._note(
+                    "start-failed", attempt=attempts, error=type(exc).__name__
+                )
+                if self.breaker.state == BREAKER_OPEN:
+                    continue  # allow() above turns this into degradation
+                self._clock.advance(
+                    self.policy.backoff_us(attempts, self.rng), "supervisor"
+                )
+                continue
+            self.breaker.record_success(self._clock.now_us)
+            started = True
+            break
+        if started:
+            self.degraded = False
+            self.restarts += 1
+            self._note("started", incarnation=incarnation, attempts=attempts)
+        else:
+            self.degraded = True
+            self._note(
+                "degraded",
+                incarnation=incarnation,
+                attempts=attempts,
+                breaker=self.breaker.state,
+            )
+        return {
+            "incarnation": incarnation,
+            "started": started,
+            "attempts": attempts,
+            "failures": failures,
+            "degraded": self.degraded,
+            "breaker": self.breaker.state,
+            "latency_us": round(self._clock.now_us - t0, 3),
+        }
+
+    def probe(self) -> bool:
+        """From the degraded state: wait out the breaker cooldown on
+        virtual time and make one half-open start attempt."""
+        if self.sim.server.running:
+            return True
+        wait = self.breaker.cooldown_remaining(self._clock.now_us)
+        if wait > 0:
+            self._clock.advance(wait, "supervisor")
+        if not self.breaker.allow(self._clock.now_us):
+            return False
+        try:
+            self.sim.server.start()
+        except ReproError as exc:
+            self.breaker.record_failure(self._clock.now_us)
+            self._note("probe-failed", error=type(exc).__name__)
+            return False
+        self.breaker.record_success(self._clock.now_us)
+        self.degraded = False
+        self.restarts += 1
+        self._note("probe-recovered", incarnation=self.sim.incarnation)
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "degraded" if self.degraded else (
+            "running" if self.running else "down"
+        )
+        return (
+            f"Supervisor({state}, incarnation={self.sim.incarnation}, "
+            f"restarts={self.restarts})"
+        )

@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import ProcessError, ReproError, SwapError
 from repro.kernel.clock import CostModel, SimClock
 from repro.kernel.pagecache import PageCache
-from repro.kernel.process import Process
+from repro.kernel.process import ExitRecord, Process
 from repro.kernel.tty import NttyVulnerability
 from repro.kernel.vfs import Vfs
 from repro.kernel.vm import STACK_SIZE_PAGES, STACK_TOP, VmaFlag
@@ -156,6 +156,10 @@ class Kernel:
 
         self._procs: Dict[int, Process] = {}
         self._next_pid = 1
+        #: Post-mortem records appended by :meth:`exit_process`; the
+        #: supervision layer drains them to audit what each dead
+        #: process left in the free pool and on the swap device.
+        self.exit_records: List[ExitRecord] = []
         self._aged_holders: List[int] = []
         self.rmap = ReverseMap(self.processes)
 
@@ -326,15 +330,73 @@ class Kernel:
         self.clock.charge_exec()
 
     def exit_process(self, process: Process, code: int = 0) -> None:
-        """``exit()``: release memory (uncleared, absent patches)."""
+        """``exit()``: release memory (uncleared, absent patches).
+
+        Reaping is observable: every frame the teardown drains into the
+        free pool and every swap slot the dead process abandons is
+        captured in an :class:`ExitRecord` (see :meth:`drain_exit_records`)
+        so the supervision layer can audit the corpse for key bytes.
+
+        The unwind is also *double-fault safe*: if the teardown path
+        itself raises (e.g. a second injected fault while unwinding a
+        failed ``fork``), the teardown is retried — ``munmap`` removes
+        each VMA as it completes, so the retry releases only what the
+        first pass left behind — and the process is unconditionally
+        reaped from the table, conserving frames either way.
+        """
         process.require_alive()
-        process.mm.teardown()
-        process.fds.clear()
-        process.state = "zombie"
-        process.exit_code = code
-        del self._procs[process.pid]
-        if process.parent is not None and process in process.parent.children:
-            process.parent.children.remove(process)
+        # Swapped PTEs observed before teardown: _zap_vpn drops the
+        # reference without releasing the slot, so these device slots
+        # (and their bytes) outlive the process.
+        dropped_slots = tuple(
+            sorted(
+                pte.swap_slot
+                for pte in process.mm.page_table.values()
+                if pte.swap_slot is not None
+            )
+        )
+        freed: List[int] = []
+        prev_on_free = self.buddy.on_free
+
+        def _collect(head: int, order: int, cleared: bool) -> None:
+            freed.extend(range(head, head + (1 << order)))
+            if prev_on_free is not None:
+                prev_on_free(head, order, cleared)
+
+        self.buddy.on_free = _collect
+        forced = False
+        try:
+            try:
+                process.mm.teardown()
+            except ReproError:
+                # Double fault: the unwind itself failed part-way.  One
+                # retry finishes the job against the VMAs the first pass
+                # did not get to.
+                forced = True
+                process.mm.teardown()
+        finally:
+            self.buddy.on_free = prev_on_free
+            process.fds.clear()
+            process.state = "zombie"
+            process.exit_code = code
+            self._procs.pop(process.pid, None)
+            if process.parent is not None and process in process.parent.children:
+                process.parent.children.remove(process)
+            self.exit_records.append(
+                ExitRecord(
+                    pid=process.pid,
+                    name=process.name,
+                    exit_code=code,
+                    freed_frames=tuple(freed),
+                    dropped_swap_slots=dropped_slots,
+                    forced=forced,
+                )
+            )
+
+    def drain_exit_records(self) -> List[ExitRecord]:
+        """Return and clear the accumulated post-mortem exit records."""
+        records, self.exit_records = self.exit_records, []
+        return records
 
     # ------------------------------------------------------------------
     # memory aging

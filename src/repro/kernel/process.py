@@ -15,7 +15,8 @@ co-located with mutable data and COW sharing survives forever.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.errors import BadAddressError, ProcessError
 from repro.kernel.vm import HEAP_BASE, AddressSpace, Vma, VmaFlag
@@ -162,6 +163,31 @@ class UserHeap:
 
     def read(self, addr: int, length: int) -> bytes:
         return self.process.mm.read(addr, length)
+
+
+@dataclass(frozen=True)
+class ExitRecord:
+    """What one process left behind when it exited.
+
+    The supervision layer's post-mortem key audit needs exactly this:
+    the physical frames the teardown drained into the free pool (the
+    paper's "unallocated memory" surface for the dead incarnation's
+    key copies) and the swap slots its zapped PTEs abandoned — a dead
+    process's swapped pages keep their device bytes forever, so the
+    audit must scan those slots too.
+    """
+
+    pid: int
+    name: str
+    exit_code: int
+    #: Every physical frame released while tearing the process down.
+    freed_frames: Tuple[int, ...]
+    #: Swap slots still referenced by swapped PTEs at exit; ``_zap_vpn``
+    #: drops the reference without releasing the slot.
+    dropped_swap_slots: Tuple[int, ...]
+    #: True when the unwind path itself faulted and had to be retried
+    #: (the double-fault guard engaged).
+    forced: bool = False
 
 
 class Process:

@@ -18,7 +18,7 @@ from __future__ import annotations
 import enum
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
 
-from repro.errors import BadAddressError, ProtectionFaultError
+from repro.errors import BadAddressError, ProtectionFaultError, ReproError
 from repro.mem.page import PageFlag
 from repro.mem.rmap import AnonVma
 
@@ -187,12 +187,9 @@ class AddressSpace:
         self.vmas.remove(vma)
 
     def _zap_vpn(self, vpn: int) -> None:
-        self.locked_vpns.discard(vpn)
-        pte = self.page_table.pop(vpn, None)
+        pte = self.page_table.get(vpn)
         if pte is None:
-            return
-        if pte.swapped:
-            # Drop the swap slot; its bytes stay on the device, unscrubbed.
+            self.locked_vpns.discard(vpn)
             return
         if pte.present:
             frame = pte.frame
@@ -203,7 +200,25 @@ class AddressSpace:
             if self.kernel.config.zero_on_unmap and page.count == 1 and not page.reserved:
                 self.kernel.physmem.clear_frame(frame)
                 self.kernel.clock.charge_page_clear()
-            self.kernel.buddy.put_page(frame)
+            # Drop our reference *before* removing the PTE: if the put
+            # faults at entry, the mapping is still on the page table
+            # and a retried teardown revisits it instead of leaking the
+            # reference (and eventually the frame) forever.  If it
+            # faults *after* the drop took effect (observable as a
+            # lower refcount), finish the zap so the retry does not
+            # double-put.
+            refs_before = page.count
+            try:
+                self.kernel.buddy.put_page(frame)
+            except ReproError:
+                if page.count < refs_before:
+                    self.locked_vpns.discard(vpn)
+                    self.page_table.pop(vpn, None)
+                raise
+        # For a swapped PTE this drops the swap slot; its bytes stay on
+        # the device, unscrubbed.
+        self.locked_vpns.discard(vpn)
+        del self.page_table[vpn]
 
     def teardown(self) -> None:
         """Release everything; called from ``exit()``."""

@@ -236,13 +236,18 @@ class BuddyAllocator:
             for frame in range(head, head + size):
                 self._clear_frame(frame)
 
-        if self.on_free is not None:
-            self.on_free(head, order, self.clear_on_free)
-
-        if order == 0:
-            self._free_hot(head)
-        else:
-            self._merge_and_insert(head, order)
+        # The hook is observational (KeySan scrub check, exit reaping);
+        # the block must reach the free lists even if it raises, or a
+        # second fault during an exit unwind would orphan the frames —
+        # neither allocated nor free, lost until reboot.
+        try:
+            if self.on_free is not None:
+                self.on_free(head, order, self.clear_on_free)
+        finally:
+            if order == 0:
+                self._free_hot(head)
+            else:
+                self._merge_and_insert(head, order)
 
     def _clear_frame(self, frame: int) -> None:
         self.physmem.clear_frame(frame)

@@ -111,6 +111,39 @@ class SwapDevice:
         if not 0 <= slot < self.num_slots:
             raise SwapError(f"slot {slot} out of range [0, {self.num_slots})")
 
+    def check_consistency(self) -> None:
+        """Assert the free-slot heap agrees with the occupancy bitmap.
+
+        The invariant ("a slot is on the heap iff it is not used") is
+        easy to break silently — a torn write must leave its slot
+        claimed *and* off the heap, a release must push exactly once —
+        so soak campaigns and the fault tests re-verify it after every
+        aborted swap path.  Raises :class:`SwapError` on any drift.
+        """
+        heap_slots = list(self._free_heap)
+        heap_set = set(heap_slots)
+        if len(heap_set) != len(heap_slots):
+            raise SwapError("free-slot heap holds duplicate slots")
+        for slot in heap_set:
+            if not 0 <= slot < self.num_slots:
+                raise SwapError(f"free-slot heap holds out-of-range slot {slot}")
+        used_set = {slot for slot, used in self._used.items() if used}
+        overlap = heap_set & used_set
+        if overlap:
+            raise SwapError(
+                f"slots {sorted(overlap)} are both used and on the free heap"
+            )
+        expected_free = self.num_slots - len(used_set)
+        if len(heap_set) != expected_free:
+            missing = sorted(
+                slot for slot in range(self.num_slots)
+                if slot not in used_set and slot not in heap_set
+            )
+            raise SwapError(
+                f"free heap tracks {len(heap_set)} slots, expected "
+                f"{expected_free}; leaked slots: {missing}"
+            )
+
     # ------------------------------------------------------------------
     # disclosure surface
     # ------------------------------------------------------------------

@@ -162,19 +162,26 @@ class KeySan:
         self._tags_by_name[name] = tag
         return tag
 
-    def register_key(self, key: "RsaKey", pem: bytes) -> None:
+    def register_key(self, key: "RsaKey", pem: bytes, prefix: str = "") -> None:
         """Register the paper's sensitive material for one RSA key: the
         six CRT parts (as their big-endian BIGNUM byte strings) and the
-        full PEM encoding."""
-        self.register_secret("d", key.d_bytes())
-        self.register_secret("p", key.p_bytes())
-        self.register_secret("q", key.q_bytes())
+        full PEM encoding.
+
+        ``prefix`` namespaces the tag names (``"gen3."`` gives
+        ``gen3.d``, ``gen3.pem``, ...) so several key *incarnations* can
+        be tracked on one machine — the basis of the supervisor's
+        cross-incarnation post-mortem audit, which asks whether any
+        bytes tagged with a **dead** incarnation's prefix still exist.
+        """
+        self.register_secret(prefix + "d", key.d_bytes())
+        self.register_secret(prefix + "p", key.p_bytes())
+        self.register_secret(prefix + "q", key.q_bytes())
         from repro.crypto.rsa import int_to_bytes
 
-        self.register_secret("dmp1", int_to_bytes(key.dmp1))
-        self.register_secret("dmq1", int_to_bytes(key.dmq1))
-        self.register_secret("iqmp", int_to_bytes(key.iqmp))
-        self.register_secret("pem", pem)
+        self.register_secret(prefix + "dmp1", int_to_bytes(key.dmp1))
+        self.register_secret(prefix + "dmq1", int_to_bytes(key.dmq1))
+        self.register_secret(prefix + "iqmp", int_to_bytes(key.iqmp))
+        self.register_secret(prefix + "pem", pem)
 
     # ------------------------------------------------------------------
     # call-site attribution
@@ -446,6 +453,34 @@ class KeySan:
     # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
+    def tags_with_prefix(self, prefix: str) -> List[TaintTag]:
+        """Registered tags whose name starts with ``prefix``."""
+        return [
+            tag for _, tag in sorted(self._tags_by_name.items())
+            if tag.name.startswith(prefix)
+        ]
+
+    def census_by_prefix(self, prefix: str) -> Dict[str, Dict[str, int]]:
+        """Tainted-byte census restricted to one incarnation's tags.
+
+        Returns ``region -> {tag name -> tainted bytes}`` for every tag
+        whose name starts with ``prefix``.  Run against a *dead*
+        incarnation's prefix, a non-empty result is the ground truth of
+        a cross-incarnation leak: bytes of a key whose owner has exited
+        still exist somewhere in RAM, attributed by region.
+        """
+        page_size = self.kernel.physmem.page_size
+        census: Dict[str, Dict[str, int]] = {}
+        for start, length in self.shadow.iter_tainted_chunks(page_size):
+            region = self._region_of(start // page_size)
+            for run in self.shadow.runs_in(start, length):
+                tag = self.tags.get(run.tag_id)
+                if tag is None or not tag.name.startswith(prefix):
+                    continue
+                per_region = census.setdefault(region, {})
+                per_region[tag.name] = per_region.get(tag.name, 0) + run.length
+        return census
+
     def _region_of(self, frame: int) -> str:
         page = self.kernel.page(frame)
         if page.reserved:

@@ -1,0 +1,26 @@
+"""wall-clock-in-sim: host time reads inside a simulated layer.
+
+This fixture deliberately lives under a ``kernel/`` path fragment so
+the path-scoped rule applies; the same source at an ``analysis/`` path
+is clean.
+"""
+
+import time
+from datetime import datetime
+from time import sleep as nap
+
+
+def injected_backoff(attempt):
+    nap(0.001 * attempt)  # flagged: wall-clock sleep via from-import alias
+    return time.monotonic()  # flagged
+
+
+def stamp_report(report):
+    report["t"] = time.time()  # flagged
+    report["when"] = datetime.now().isoformat()  # flagged
+    return report
+
+
+def virtual_time_is_fine(clock):
+    clock.advance(1000, "supervisor")
+    return clock.now_us

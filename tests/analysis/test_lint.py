@@ -93,6 +93,20 @@ class TestRulesFire:
         assert lint_source(clean, "f.py") == []
         assert rules_in(lint_source(dirty, "f.py")) == {"secret-in-log"}
 
+    def test_wall_clock_in_sim_flags_host_clock_reads(self):
+        violations = lint_file(
+            FIXTURES / "kernel" / "bad_wall_clock.py", root=FIXTURES
+        )
+        assert rules_in(violations) == {"wall-clock-in-sim"}
+        # nap() alias, time.monotonic(), time.time(), datetime.now() —
+        # the SimClock calls stay clean
+        assert len(violations) == 4
+        assert all("SimClock" in v.message for v in violations)
+
+    def test_wall_clock_rule_is_path_scoped(self):
+        source = (FIXTURES / "kernel" / "bad_wall_clock.py").read_text()
+        assert lint_source(source, "analysis/bench.py") == []
+
     def test_every_rule_has_a_firing_fixture(self):
         violations = lint_paths([FIXTURES])
         assert rules_in(violations) == set(RULE_NAMES)
@@ -147,6 +161,23 @@ class TestPathExemptions:
         assert rules_in(lint_source(self.RETAIN_SRC, "ssl/rsa_st.py")) == {
             "raw-secret-bytes"
         }
+
+    WALL_CLOCK_SRC = "import time\ndef f():\n    return time.monotonic()\n"
+
+    def test_simulated_layers_may_not_read_wall_clock(self):
+        for rel in (
+            "faults/supervisor.py",
+            "kernel/clock.py",
+            "apps/sshd.py",
+            "core/simulation.py",
+        ):
+            assert rules_in(lint_source(self.WALL_CLOCK_SRC, rel)) == {
+                "wall-clock-in-sim"
+            }, rel
+
+    def test_harness_may_time_itself(self):
+        assert lint_source(self.WALL_CLOCK_SRC, "analysis/parallel.py") == []
+        assert lint_source(self.WALL_CLOCK_SRC, "cli.py") == []
 
 
 class TestCleanTree:

@@ -136,3 +136,27 @@ class TestStop:
         sim.start_server()
         sim.server.stop(graceful=False)
         assert sim.scan().unallocated_count >= 3
+
+
+class TestCrash:
+    def test_crash_kills_master_and_workers(self):
+        sim = make_sim()
+        sim.start_server()
+        master = sim.server.master
+        workers = [w.process for w in sim.server.workers]
+        assert workers
+        killed = sim.server.crash()
+        assert not master.alive
+        assert all(not worker.alive for worker in workers)
+        assert killed == sorted(p.pid for p in [master] + workers)
+        assert sim.server.workers == []
+        assert sim.server.master is None
+
+    def test_crash_then_restart_serves_requests(self):
+        sim = make_sim()
+        sim.start_server()
+        sim.server.crash()
+        assert not sim.server.running
+        sim.server.start()
+        sim.server.handle_request(8 * 1024)
+        assert sim.server.crashes == 1

@@ -143,3 +143,47 @@ class TestGracefulStop:
         sim.cycle_connections(3)
         sim.stop_server()
         assert sim.scan().total == 0
+
+
+class TestCrash:
+    def test_crash_kills_master_and_children_with_sigkill_code(self):
+        sim = make_sim()
+        sim.start_server()
+        sim.hold_connections(2)
+        master = sim.server.master
+        children = [c.child for c in sim.server.connections]
+        sim.kernel.drain_exit_records()
+        killed = sim.server.crash()
+        assert not master.alive
+        assert all(not child.alive for child in children)
+        assert killed == sorted(p.pid for p in [master] + children)
+        assert all(
+            record.exit_code == 137
+            for record in sim.kernel.drain_exit_records()
+        )
+
+    def test_crash_resets_state_for_restart(self):
+        sim = make_sim()
+        sim.start_server()
+        sim.server.crash()
+        assert not sim.server.running
+        assert sim.server.connections == []
+        assert sim.server.master is None
+        sim.server.start()  # a fresh incarnation boots cleanly
+        assert sim.server.running
+        sim.cycle_connections(1)
+
+    def test_crash_counter_and_incarnation_attrs(self):
+        sim = make_sim()
+        assert sim.server.crashes == 0
+        assert sim.server.incarnation == 0
+        sim.start_server()
+        sim.server.crash()
+        sim.server.start()
+        sim.server.crash()
+        assert sim.server.crashes == 2
+
+    def test_crash_without_start_is_a_noop(self):
+        sim = make_sim()
+        assert sim.server.crash() == []
+        assert sim.server.crashes == 1

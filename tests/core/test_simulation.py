@@ -99,3 +99,50 @@ class TestDriving:
         assert ext2.disclosed_bytes == 50 * 4096
         ntty = sim.run_ntty_attack()
         assert ntty.coverage is not None
+
+
+class TestProvisionKey:
+    def test_reprovision_installs_fresh_key_on_disk(self):
+        sim = sim_for(server="openssh")
+        old_pem = sim.pem
+        sim.provision_key(1)
+        assert sim.pem != old_pem
+        on_disk = bytes(
+            sim.kernel.vfs.lookup("/etc/ssh/ssh_host_rsa_key").data
+        )
+        assert on_disk == sim.pem
+        assert sim.incarnation == 1
+        assert sim.server.incarnation == 1
+
+    def test_reprovision_invalidates_cached_pem(self):
+        # reiser preloads the key file into the page cache at mount;
+        # the stale incarnation's PEM must not survive there.
+        sim = sim_for(server="openssh", level=ProtectionLevel.NONE)
+        file_id = sim.kernel.vfs.lookup("/etc/ssh/ssh_host_rsa_key").file_id
+        sim.start_server()  # _load_key populates the cache
+        assert len(sim.kernel.pagecache.frames_of(file_id)) > 0
+        sim.server.crash()
+        sim.provision_key(1)
+        assert sim.kernel.pagecache.contains_file(file_id) is False
+
+    def test_incarnation_keys_are_deterministic(self):
+        a = sim_for(server="openssh", seed=7)
+        b = sim_for(server="openssh", seed=7)
+        a.provision_key(1)
+        b.provision_key(1)
+        assert a.pem == b.pem
+        c = sim_for(server="openssh", seed=8)
+        c.provision_key(1)
+        assert c.pem != a.pem
+
+    def test_scanner_retargets_to_new_patterns(self):
+        sim = sim_for(server="openssh")
+        sim.provision_key(1)
+        assert sim.patterns is sim.patterns_by_incarnation[1]
+        assert sim.patterns_by_incarnation[0] is not sim.patterns
+
+    def test_double_provision_rejected(self):
+        sim = sim_for(server="openssh")
+        sim.provision_key(1)
+        with pytest.raises(WorkloadError):
+            sim.provision_key(1)

@@ -99,3 +99,109 @@ class TestSerialisation:
 
     def test_all_sites_have_horizons(self):
         assert set(SITE_HORIZONS) == set(FAULT_SITES)
+
+
+class TestShiftCompose:
+    def test_uniform_shift_moves_every_index(self):
+        plan = FaultPlan({"buddy.alloc": [0, 5], "swap.out": [2]})
+        shifted = plan.shift(10)
+        assert shifted.to_dict() == {
+            "buddy.alloc": [10, 15],
+            "swap.out": [12],
+        }
+
+    def test_per_site_shift_leaves_absent_sites_alone(self):
+        plan = FaultPlan({"buddy.alloc": [1], "swap.out": [2]})
+        shifted = plan.shift({"buddy.alloc": 100})
+        assert shifted.to_dict() == {"buddy.alloc": [101], "swap.out": [2]}
+
+    def test_shift_zero_is_identity(self):
+        plan = FaultPlan({"swap.torn": [0, 3]})
+        assert plan.shift(0) == plan
+
+    def test_shift_returns_new_plan(self):
+        plan = FaultPlan({"swap.torn": [1]})
+        assert plan.shift(4) is not plan
+        assert plan.to_dict() == {"swap.torn": [1]}
+
+    def test_negative_shift_rejected(self):
+        plan = FaultPlan({"buddy.alloc": [1]})
+        with pytest.raises(ValueError):
+            plan.shift(-1)
+        with pytest.raises(ValueError):
+            plan.shift({"buddy.alloc": -5})
+
+    def test_unknown_site_in_shift_mapping_rejected(self):
+        plan = FaultPlan({"buddy.alloc": [1]})
+        with pytest.raises(ValueError):
+            plan.shift({"warp.core": 1})
+
+    def test_compose_unions_and_collapses_duplicates(self):
+        a = FaultPlan({"buddy.alloc": [0, 1], "swap.out": [2]})
+        b = FaultPlan({"buddy.alloc": [1, 3], "swap.read": [0]})
+        composed = FaultPlan.compose([a, b])
+        assert composed.to_dict() == {
+            "buddy.alloc": [0, 1, 3],
+            "swap.out": [2],
+            "swap.read": [0],
+        }
+
+    def test_compose_is_order_independent(self):
+        rng = DeterministicRandom(7)
+        plans = [FaultPlan.random(rng.fork_stream(f"g{i}"), 4) for i in range(5)]
+        assert FaultPlan.compose(plans) == FaultPlan.compose(plans[::-1])
+
+    def test_compose_empty_is_empty_plan(self):
+        assert len(FaultPlan.compose([])) == 0
+
+    def test_shifted_generations_do_not_collide(self):
+        # The soak idiom: per-generation draws against the per-site
+        # horizons, shifted into generation bands, must never overlap.
+        rng = DeterministicRandom(11)
+        bands = [
+            FaultPlan.random(rng.fork_stream(f"gen{g}"), 6).shift(
+                {site: g * SITE_HORIZONS[site] for site in FAULT_SITES}
+            )
+            for g in range(4)
+        ]
+        composed = FaultPlan.compose(bands)
+        assert len(composed) == sum(len(band) for band in bands)
+
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover
+    HAVE_HYPOTHESIS = False
+
+
+if HAVE_HYPOTHESIS:
+
+    class TestShiftComposeProperties:
+        @settings(max_examples=50, deadline=None, derandomize=True)
+        @given(
+            seed=st.integers(0, 2**16),
+            offset=st.integers(0, 1000),
+            faults=st.integers(0, 12),
+        )
+        def test_shift_preserves_event_count_and_gaps(self, seed, offset, faults):
+            plan = FaultPlan.random(DeterministicRandom(seed), faults)
+            shifted = plan.shift(offset)
+            assert len(shifted) == len(plan)
+            assert [
+                (site, index + offset) for site, index in plan.events()
+            ] == list(shifted.events())
+
+        @settings(max_examples=50, deadline=None, derandomize=True)
+        @given(seed=st.integers(0, 2**16), n=st.integers(1, 6))
+        def test_compose_subsumes_every_member(self, seed, n):
+            rng = DeterministicRandom(seed)
+            plans = [
+                FaultPlan.random(rng.fork_stream(f"p{i}"), 5) for i in range(n)
+            ]
+            composed = FaultPlan.compose(plans)
+            events = set(composed.events())
+            for plan in plans:
+                assert set(plan.events()) <= events

@@ -1,0 +1,334 @@
+"""Supervisor: restart policy, circuit breaker, post-mortem audits.
+
+Everything runs on virtual microseconds and seeded randomness; wall
+clock never appears (the keylint ``wall-clock-in-sim`` rule enforces
+the same for the implementation).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.protection import ProtectionLevel
+from repro.core.simulation import Simulation, SimulationConfig
+from repro.crypto.randsrc import DeterministicRandom
+from repro.errors import WorkloadError
+from repro.faults.supervisor import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    RestartPolicy,
+    Supervisor,
+    post_mortem_audit,
+)
+
+
+def make_sim(level=ProtectionLevel.INTEGRATED, seed=5, taint=True):
+    return Simulation(
+        SimulationConfig(
+            server="openssh",
+            level=level,
+            seed=seed,
+            memory_mb=8,
+            key_bits=256,
+            taint=taint,
+            incarnation_tags=taint,
+        )
+    )
+
+
+class TestRestartPolicy:
+    def test_backoff_grows_exponentially_to_cap(self):
+        policy = RestartPolicy(
+            backoff_base_us=1000, backoff_factor=2, backoff_cap_us=8000
+        )
+        assert [policy.backoff_us(a) for a in (1, 2, 3, 4, 5)] == [
+            1000, 2000, 4000, 8000, 8000,
+        ]
+
+    def test_backoff_attempts_are_one_based(self):
+        with pytest.raises(ValueError):
+            RestartPolicy().backoff_us(0)
+
+    def test_jitter_stays_in_half_to_three_halves(self):
+        policy = RestartPolicy(backoff_base_us=1000)
+        rng = DeterministicRandom(3)
+        for _ in range(100):
+            delay = policy.backoff_us(1, rng)
+            assert 500 <= delay < 1500
+
+    def test_jitter_replays_for_a_fixed_seed(self):
+        policy = RestartPolicy()
+        a = [policy.backoff_us(i, DeterministicRandom(9).fork_stream("s"))
+             for i in (1, 2, 3)]
+        b = [policy.backoff_us(i, DeterministicRandom(9).fork_stream("s"))
+             for i in (1, 2, 3)]
+        assert a == b
+
+
+class TestCircuitBreaker:
+    def make(self, threshold=3, window=50_000.0, cooldown=20_000.0):
+        return CircuitBreaker(threshold, window, cooldown)
+
+    def test_starts_closed_and_allows(self):
+        breaker = self.make()
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.allow(0.0)
+
+    def test_trips_at_threshold_inside_window(self):
+        breaker = self.make(threshold=3)
+        breaker.record_failure(0.0)
+        breaker.record_failure(100.0)
+        assert breaker.state == BREAKER_CLOSED
+        breaker.record_failure(200.0)
+        assert breaker.state == BREAKER_OPEN
+        assert not breaker.allow(200.0)
+
+    def test_stale_failures_age_out_of_the_window(self):
+        breaker = self.make(threshold=3, window=1000.0)
+        breaker.record_failure(0.0)
+        breaker.record_failure(100.0)
+        breaker.record_failure(5000.0)  # the first two have aged out
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_open_refuses_until_cooldown_then_half_opens(self):
+        breaker = self.make(threshold=1, cooldown=20_000.0)
+        breaker.record_failure(0.0)
+        assert breaker.state == BREAKER_OPEN
+        assert not breaker.allow(10_000.0)
+        assert breaker.cooldown_remaining(10_000.0) == 10_000.0
+        assert breaker.allow(20_000.0)
+        assert breaker.state == BREAKER_HALF_OPEN
+
+    def test_half_open_success_closes(self):
+        breaker = self.make(threshold=1)
+        breaker.record_failure(0.0)
+        breaker.allow(20_000.0)
+        breaker.record_success(20_001.0)
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_half_open_failure_reopens_with_fresh_cooldown(self):
+        breaker = self.make(threshold=1, cooldown=20_000.0)
+        breaker.record_failure(0.0)
+        breaker.allow(20_000.0)
+        breaker.record_failure(20_500.0)
+        assert breaker.state == BREAKER_OPEN
+        assert not breaker.allow(30_000.0)
+        assert breaker.allow(40_500.0)
+
+    def test_success_clears_the_failure_window(self):
+        breaker = self.make(threshold=2)
+        breaker.record_failure(0.0)
+        breaker.record_success(10.0)
+        breaker.record_failure(20.0)
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(1, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(1, 1.0, -1.0)
+
+    LEGAL_EDGES = {
+        (BREAKER_CLOSED, BREAKER_OPEN),
+        (BREAKER_OPEN, BREAKER_HALF_OPEN),
+        (BREAKER_HALF_OPEN, BREAKER_CLOSED),
+        (BREAKER_HALF_OPEN, BREAKER_OPEN),
+    }
+
+    @settings(max_examples=200, deadline=None, derandomize=True)
+    @given(
+        steps=st.lists(
+            st.tuples(
+                st.sampled_from(["fail", "success", "allow"]),
+                st.floats(0.0, 100_000.0, allow_nan=False),
+            ),
+            max_size=40,
+        )
+    )
+    def test_hypothesis_timings_only_take_legal_edges(self, steps):
+        breaker = self.make()
+        now = 0.0
+        for kind, delta in steps:
+            now += delta
+            if kind == "fail":
+                breaker.record_failure(now)
+            elif kind == "success":
+                breaker.record_success(now)
+            else:
+                breaker.allow(now)
+            # allow() is refused exactly while open with cooldown left
+            if breaker.state == BREAKER_OPEN:
+                assert breaker.cooldown_remaining(now) > 0 or breaker.allow(now)
+        states = [BREAKER_CLOSED] + [s for s, _ in breaker.transitions]
+        for a, b in zip(states, states[1:]):
+            assert (a, b) in self.LEGAL_EDGES
+
+    @settings(max_examples=100, deadline=None, derandomize=True)
+    @given(
+        timings=st.lists(
+            st.floats(0.0, 10_000.0, allow_nan=False), min_size=3, max_size=20
+        )
+    )
+    def test_hypothesis_dense_failures_always_trip(self, timings):
+        # Any 3 failures within one window must open the breaker.
+        breaker = self.make(threshold=3, window=10_000_000.0)
+        now = 0.0
+        for delta in timings:
+            now += delta
+            breaker.record_failure(now)
+        assert breaker.state == BREAKER_OPEN
+
+
+class TestPostMortemAudit:
+    def test_unmitigated_crash_leaves_a_dirty_corpse(self):
+        sim = make_sim(level=ProtectionLevel.NONE)
+        sim.start_server()
+        sim.cycle_connections(2)
+        sim.kernel.drain_exit_records()
+        sim.server.crash()
+        audit = post_mortem_audit(
+            sim, 0, sim.kernel.drain_exit_records()
+        )
+        assert not audit.clean
+        assert audit.taint_bytes > 0
+        assert audit.ram_hits > 0
+        assert audit.freed_frame_hits > 0
+        assert audit.reaped_frames > 0
+
+    def test_integrated_crash_leaves_a_clean_corpse(self):
+        sim = make_sim(level=ProtectionLevel.INTEGRATED)
+        sim.start_server()
+        sim.cycle_connections(2)
+        sim.kernel.drain_exit_records()
+        sim.server.crash()
+        audit = post_mortem_audit(
+            sim, 0, sim.kernel.drain_exit_records()
+        )
+        assert audit.clean, audit.to_dict()
+        assert audit.reaped_frames > 0  # the corpse did free frames
+
+    def test_audit_of_unprovisioned_incarnation_rejected(self):
+        sim = make_sim()
+        with pytest.raises(WorkloadError):
+            post_mortem_audit(sim, 7, [])
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        sim = make_sim(level=ProtectionLevel.NONE)
+        sim.start_server()
+        sim.server.crash()
+        audit = post_mortem_audit(sim, 0, sim.kernel.drain_exit_records())
+        json.dumps(audit.to_dict())
+
+
+class TestSupervisor:
+    def test_initial_start_and_restart_rotate_incarnations(self):
+        sim = make_sim()
+        supervisor = Supervisor(sim)
+        record = supervisor.start_service()
+        assert record["started"] and record["attempts"] == 1
+        assert sim.incarnation == 0
+        old_pem = sim.pem
+        supervisor.crash_service()
+        record = supervisor.recover()
+        assert record["started"]
+        assert sim.incarnation == 1
+        assert sim.pem != old_pem
+        assert record["audit"]["clean"] is True
+        assert supervisor.restarts == 2
+
+    def test_audit_while_running_rejected(self):
+        sim = make_sim()
+        supervisor = Supervisor(sim)
+        supervisor.start_service()
+        with pytest.raises(WorkloadError):
+            supervisor.audit_corpse()
+        with pytest.raises(WorkloadError):
+            supervisor.restart_service()
+
+    def test_persistent_start_failures_trip_to_degraded(self):
+        sim = make_sim()
+        supervisor = Supervisor(sim, policy=RestartPolicy(breaker_threshold=3))
+        real_start = sim.server.start
+
+        def failing_start():
+            raise WorkloadError("injected boot failure")
+
+        sim.server.start = failing_start
+        record = supervisor.start_service()
+        sim.server.start = real_start
+        assert not record["started"]
+        assert record["attempts"] == 3  # the breaker, not max_restarts
+        assert record["breaker"] == BREAKER_OPEN
+        assert supervisor.degraded
+        assert not supervisor.admit()
+        assert supervisor.refused_connections == 1
+
+    def test_probe_recovers_after_cooldown(self):
+        sim = make_sim()
+        supervisor = Supervisor(sim, policy=RestartPolicy(breaker_threshold=2))
+        real_start = sim.server.start
+        sim.server.start = lambda: (_ for _ in ()).throw(
+            WorkloadError("still down")
+        )
+        supervisor.start_service()
+        assert supervisor.degraded
+        sim.server.start = real_start
+        assert supervisor.probe()
+        assert not supervisor.degraded
+        assert supervisor.breaker.state == BREAKER_CLOSED
+        assert supervisor.running
+        assert supervisor.admit()
+
+    def test_transient_failures_back_off_then_succeed(self):
+        sim = make_sim()
+        supervisor = Supervisor(
+            sim,
+            policy=RestartPolicy(breaker_threshold=5),
+            rng=DeterministicRandom(1).fork_stream("supervisor"),
+        )
+        real_start = sim.server.start
+        state = {"left": 2}
+
+        def flaky_start():
+            if state["left"] > 0:
+                state["left"] -= 1
+                raise WorkloadError("transient")
+            return real_start()
+
+        sim.server.start = flaky_start
+        t0 = sim.kernel.clock.now_us
+        record = supervisor.start_service()
+        assert record["started"] and record["attempts"] == 3
+        # Two backoffs were charged to virtual time.
+        assert record["latency_us"] > 0
+        assert sim.kernel.clock.now_us > t0
+
+    def test_supervised_run_replays_byte_identical(self):
+        def run():
+            sim = make_sim(seed=11)
+            supervisor = Supervisor(
+                sim, rng=DeterministicRandom(11).fork_stream("supervisor")
+            )
+            supervisor.start_service()
+            sim.cycle_connections(2)
+            supervisor.crash_service()
+            record = supervisor.recover()
+            return record, supervisor.events
+
+        assert run() == run()
+
+    def test_event_log_is_json_ready(self):
+        import json
+
+        sim = make_sim()
+        supervisor = Supervisor(sim)
+        supervisor.start_service()
+        supervisor.crash_service()
+        supervisor.recover()
+        json.dumps(supervisor.events)

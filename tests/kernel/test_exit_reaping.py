@@ -1,0 +1,201 @@
+"""Exit reaping and double-fault-safe unwind.
+
+``exit_process`` must (a) report exactly what the corpse left behind —
+freed frames and abandoned swap slots — via :class:`ExitRecord`, and
+(b) conserve frames even when the unwind itself faults a second time
+(the fork/create_process double-fault regression).
+"""
+
+import pytest
+
+from repro.errors import OutOfMemoryError, ProcessError
+from repro.faults import FaultInjector, FaultPlan
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.kernel.process import ExitRecord
+
+
+@pytest.fixture
+def kern():
+    return Kernel(KernelConfig.vulnerable(memory_mb=4))
+
+
+def resident_frames(process):
+    return sorted(
+        pte.frame
+        for pte in process.mm.page_table.values()
+        if pte.present and pte.frame is not None
+    )
+
+
+class TestExitRecords:
+    def test_exit_reports_freed_frames(self, kern):
+        proc = kern.create_process("victim")
+        addr = proc.heap.malloc(3 * kern.config.page_size)
+        proc.mm.write(addr, b"x" * (3 * kern.config.page_size))
+        expected = resident_frames(proc)
+        kern.exit_process(proc, code=137)
+        records = kern.drain_exit_records()
+        assert len(records) == 1
+        record = records[0]
+        assert isinstance(record, ExitRecord)
+        assert record.pid == proc.pid
+        assert record.name == "victim"
+        assert record.exit_code == 137
+        assert record.forced is False
+        assert set(expected) <= set(record.freed_frames)
+
+    def test_exit_reports_dropped_swap_slots(self, kern):
+        proc = kern.create_process("swapped")
+        addr = proc.heap.malloc(4 * kern.config.page_size)
+        proc.mm.write(addr, b"y" * (4 * kern.config.page_size))
+        # Reclaim scans LRU order, so init's pages go first; evict
+        # enough to reach this process's heap.
+        evicted = kern.reclaim_pages(64)
+        assert evicted > 0
+        slots = sorted(
+            pte.swap_slot
+            for pte in proc.mm.page_table.values()
+            if pte.swap_slot is not None
+        )
+        assert slots
+        kern.exit_process(proc)
+        (record,) = kern.drain_exit_records()
+        assert record.dropped_swap_slots == tuple(slots)
+        # abandoned, not released: the device still counts them used
+        assert set(slots) <= set(kern.swap.used_slots())
+
+    def test_drain_clears_the_log(self, kern):
+        proc = kern.create_process("p")
+        kern.exit_process(proc)
+        assert len(kern.drain_exit_records()) == 1
+        assert kern.drain_exit_records() == []
+
+    def test_records_accumulate_across_exits(self, kern):
+        pids = []
+        for i in range(3):
+            proc = kern.create_process(f"p{i}")
+            pids.append(proc.pid)
+            kern.exit_process(proc)
+        assert [r.pid for r in kern.drain_exit_records()] == pids
+
+    def test_exit_conserves_frames(self, kern):
+        before = kern.buddy.free_frames()
+        proc = kern.create_process("cycle")
+        addr = proc.heap.malloc(2 * kern.config.page_size)
+        proc.mm.write(addr, b"z" * 64)
+        kern.exit_process(proc)
+        assert kern.buddy.free_frames() == before
+        kern.buddy.check_invariants()
+
+
+class TestUnwindUnderFaults:
+    def _aimed_injector(self, kern, offsets):
+        """Injector firing ``buddy.alloc`` at the current tick plus
+        each offset — i.e. at upcoming allocations, precisely."""
+        base = FaultInjector(FaultPlan({}))
+        kern.buddy.faults = base  # count existing ticks from zero
+        return base
+
+    def test_fork_enomem_unwind_conserves_frames(self, kern):
+        # fork shares frames COW, so its only allocations are swap-ins
+        # of swapped parent pages — swap some out to arm the site.
+        parent = kern.create_process("parent")
+        addr = parent.heap.malloc(4 * kern.config.page_size)
+        parent.mm.write(addr, b"k" * (4 * kern.config.page_size))
+        kern.reclaim_pages(64)
+        injector = FaultInjector.attach(kern, FaultPlan({}))
+        next_tick = injector.ticks("buddy.alloc")
+        FaultInjector.attach(
+            kern, FaultPlan({"buddy.alloc": [next_tick + 2]})
+        )
+        free_before = kern.buddy.free_frames()
+        resident_before = len(resident_frames(parent))
+        procs_before = set(kern._procs)
+        with pytest.raises(OutOfMemoryError):
+            kern.fork(parent)
+        # Frames are conserved: the only delta is parent pages the fork
+        # legitimately swapped back in before the injected ENOMEM.
+        resident_delta = len(resident_frames(parent)) - resident_before
+        assert free_before - kern.buddy.free_frames() == resident_delta
+        assert set(kern._procs) == procs_before
+        assert parent.children == []
+        kern.buddy.check_invariants()
+        (record,) = kern.drain_exit_records()
+        assert record.name == "parent"  # the half-built child's image name
+        assert record.forced is False
+
+    def test_create_process_enomem_unwind_conserves_frames(self, kern):
+        injector = FaultInjector.attach(kern, FaultPlan({}))
+        next_tick = injector.ticks("buddy.alloc")
+        plan = FaultPlan({"buddy.alloc": [next_tick + 1]})
+        FaultInjector.attach(kern, plan)
+        free_before = kern.buddy.free_frames()
+        with pytest.raises(OutOfMemoryError):
+            kern.create_process("stillborn")
+        assert kern.buddy.free_frames() == free_before
+        kern.buddy.check_invariants()
+
+    def test_double_fault_during_unwind_conserves_frames(self, kern):
+        # First fault aborts the fork; a second fault then fires inside
+        # the unwind itself, at the reference drop of a shared frame.
+        # The guard must retry the teardown and leak neither the frame
+        # nor the child's extra reference.
+        parent = kern.create_process("parent")
+        addr = parent.heap.malloc(4 * kern.config.page_size)
+        parent.mm.write(addr, b"k" * (4 * kern.config.page_size))
+        kern.reclaim_pages(64)
+        injector = FaultInjector.attach(kern, FaultPlan({}))
+        next_tick = injector.ticks("buddy.alloc")
+        FaultInjector.attach(
+            kern, FaultPlan({"buddy.alloc": [next_tick + 2]})
+        )
+
+        state = {"raised": False}
+        real_put_page = kern.buddy.put_page
+
+        def faulting_put_page(frame):
+            if not state["raised"]:
+                state["raised"] = True
+                raise ProcessError("injected double fault during unwind")
+            return real_put_page(frame)
+
+        kern.buddy.put_page = faulting_put_page
+        free_before = kern.buddy.free_frames()
+        resident_before = len(resident_frames(parent))
+        with pytest.raises(OutOfMemoryError):
+            kern.fork(parent)
+        kern.buddy.put_page = real_put_page
+        assert state["raised"]
+        resident_delta = len(resident_frames(parent)) - resident_before
+        assert free_before - kern.buddy.free_frames() == resident_delta
+        # Every shared frame is back to a single (parent) reference.
+        for frame in resident_frames(parent):
+            assert kern.buddy.pages[frame].count == 1
+        kern.buddy.check_invariants()
+        (record,) = kern.drain_exit_records()
+        assert record.forced is True  # the unwind needed its retry
+
+    def test_double_fault_during_plain_exit_conserves_frames(self, kern):
+        proc = kern.create_process("victim")
+        addr = proc.heap.malloc(2 * kern.config.page_size)
+        proc.mm.write(addr, b"v" * 64)
+        free_expected = kern.buddy.free_frames() + len(
+            set(resident_frames(proc))
+        )
+
+        state = {"raised": False}
+
+        def second_fault(head, order, cleared):
+            if not state["raised"]:
+                state["raised"] = True
+                raise ProcessError("injected fault during teardown")
+
+        kern.buddy.on_free = second_fault
+        kern.exit_process(proc, code=137)
+        kern.buddy.on_free = None
+        assert state["raised"]
+        assert proc.pid not in kern._procs
+        kern.buddy.check_invariants()
+        (record,) = kern.drain_exit_records()
+        assert record.forced is True
+        assert record.exit_code == 137

@@ -172,3 +172,71 @@ class TestFreeSlotHeap:
         with pytest.raises(SwapError):
             swap.swap_in(slot)               # already free: no double push
         assert swap.free_slots() == 2
+
+
+def _page(fill: int) -> bytes:
+    return bytes([fill % 256]) * PAGE_SIZE
+
+
+class _TornOnce:
+    """Minimal injector stub: fire ``swap.torn`` on the first write."""
+
+    def __init__(self):
+        self.fired = False
+
+    def tick(self, site):
+        if site == "swap.torn" and not self.fired:
+            self.fired = True
+            return True
+        return False
+
+
+class TestCheckConsistency:
+    def test_fresh_device_is_consistent(self):
+        SwapDevice(8).check_consistency()
+
+    def test_consistent_through_out_in_cycles(self):
+        swap = SwapDevice(4)
+        slots = [swap.swap_out(_page(i)) for i in range(3)]
+        swap.check_consistency()
+        swap.swap_in(slots[1])
+        swap.swap_in(slots[0], free_slot=False)
+        swap.check_consistency()
+
+    def test_torn_write_claims_slot_but_stays_consistent(self):
+        # The aborted path must leave the slot used AND off the heap —
+        # claimed forever, but with the accounting exact.
+        swap = SwapDevice(4)
+        swap.faults = _TornOnce()
+        with pytest.raises(SwapError):
+            swap.swap_out(_page(7))
+        assert swap.used_slots() == [0]
+        swap.check_consistency()
+        # the device still works afterwards, on the next slot
+        assert swap.swap_out(_page(8)) == 1
+        swap.check_consistency()
+
+    def test_duplicate_heap_slot_detected(self):
+        swap = SwapDevice(4)
+        swap._free_heap.append(2)
+        with pytest.raises(SwapError, match="duplicate"):
+            swap.check_consistency()
+
+    def test_out_of_range_heap_slot_detected(self):
+        swap = SwapDevice(4)
+        swap._free_heap[0] = 99
+        with pytest.raises(SwapError, match="out-of-range"):
+            swap.check_consistency()
+
+    def test_used_slot_on_heap_detected(self):
+        swap = SwapDevice(4)
+        slot = swap.swap_out(_page(1))
+        swap._free_heap.append(slot)
+        with pytest.raises(SwapError, match="both used and on the free heap"):
+            swap.check_consistency()
+
+    def test_leaked_slot_detected(self):
+        swap = SwapDevice(4)
+        swap._free_heap.remove(3)
+        with pytest.raises(SwapError, match="leaked slots: \\[3\\]"):
+            swap.check_consistency()

@@ -189,3 +189,82 @@ class TestSimulationIntegration:
         text = sim.taint_report().render()
         assert "KeySan taint report" in text
         assert "leaks by originating call site" in text
+
+
+class TestIncarnationPrefixes:
+    def _taint_sim(self):
+        return Simulation(
+            SimulationConfig(
+                level=ProtectionLevel.NONE,
+                memory_mb=4,
+                key_bits=256,
+                taint=True,
+                incarnation_tags=True,
+            )
+        )
+
+    def test_register_key_prefix_prefixes_every_tag(self):
+        sim = self._taint_sim()
+        names = {tag.name for tag in sim.keysan.tags_with_prefix("gen0.")}
+        assert names == {
+            "gen0.d", "gen0.p", "gen0.q", "gen0.dmp1", "gen0.dmq1",
+            "gen0.iqmp", "gen0.pem",
+        }
+
+    def test_tags_with_prefix_filters(self):
+        sim = self._taint_sim()
+        sim.provision_key(1)
+        assert len(sim.keysan.tags_with_prefix("gen0.")) == 7
+        assert len(sim.keysan.tags_with_prefix("gen1.")) == 7
+        assert len(sim.keysan.tags_with_prefix("gen")) == 14
+        assert sim.keysan.tags_with_prefix("gen9.") == []
+
+    def test_census_by_prefix_partitions_the_shadow(self):
+        sim = self._taint_sim()
+        sim.start_server()
+        sim.cycle_connections(1)
+        total = sim.keysan.shadow.total_tainted()
+        gen0 = sum(
+            sum(tags.values())
+            for tags in sim.keysan.census_by_prefix("gen0.").values()
+        )
+        assert total > 0
+        # Only one incarnation exists, so its census is the whole map.
+        assert gen0 == total
+        assert sim.keysan.census_by_prefix("gen1.") == {}
+
+    def test_census_separates_generations_after_reprovision(self):
+        sim = self._taint_sim()
+        sim.start_server()
+        sim.cycle_connections(1)
+        sim.server.crash()
+        sim.provision_key(1)
+        sim.start_server()
+        sim.cycle_connections(1)
+        gen0 = sum(
+            sum(tags.values())
+            for tags in sim.keysan.census_by_prefix("gen0.").values()
+        )
+        gen1 = sum(
+            sum(tags.values())
+            for tags in sim.keysan.census_by_prefix("gen1.").values()
+        )
+        # Unmitigated: the dead incarnation's bytes linger alongside
+        # the live one's.
+        assert gen0 > 0 and gen1 > 0
+        assert gen0 + gen1 == sim.keysan.shadow.total_tainted()
+
+    def test_duplicate_prefix_registration_rejected(self):
+        sim = self._taint_sim()
+        with pytest.raises(WorkloadError):
+            sim.provision_key(0)
+
+    def test_reprovision_under_taint_requires_incarnation_tags(self):
+        sim = Simulation(
+            SimulationConfig(
+                level=ProtectionLevel.NONE, memory_mb=4, key_bits=256,
+                taint=True,
+            )
+        )
+        with pytest.raises(WorkloadError):
+            sim.provision_key(1)

@@ -100,14 +100,20 @@ def ext2_attack_sweep(
     timeout_s: Optional[float] = None,
     progress=None,
     retries: int = 0,
+    attacker: str = "exact",
 ) -> Ext2SweepResult:
     """Reproduce Figure 1 (openssh) / Figure 2 (apache), or their
-    §5.2/§6.2 mitigated re-runs at another protection level."""
+    §5.2/§6.2 mitigated re-runs at another protection level.
+
+    ``attacker="predict"`` swaps the verbatim pattern search for the
+    structural reconstructor: cells then report how often the *key
+    falls* to derived fragments, not how many byte copies matched.
+    """
     from repro.analysis import parallel
 
     specs = parallel.ext2_sweep_specs(
         server, connections, directories, repetitions, level,
-        seed, memory_mb, key_bits,
+        seed, memory_mb, key_bits, attacker,
     )
     outcomes, failures = parallel.run_specs(
         specs, workers=workers, timeout_s=timeout_s, progress=progress,
@@ -128,13 +134,19 @@ def ntty_attack_sweep(
     timeout_s: Optional[float] = None,
     progress=None,
     retries: int = 0,
+    attacker: str = "exact",
 ) -> NttySweepResult:
     """Reproduce Figure 3 (openssh) / Figure 4 (apache), or the
-    mitigated series of Figures 7, 17 and 18."""
+    mitigated series of Figures 7, 17 and 18.
+
+    ``attacker="predict"`` swaps the verbatim pattern search for the
+    structural reconstructor (see :func:`ext2_attack_sweep`).
+    """
     from repro.analysis import parallel
 
     specs = parallel.ntty_sweep_specs(
         server, connections, repetitions, level, seed, memory_mb, key_bits,
+        attacker,
     )
     outcomes, failures = parallel.run_specs(
         specs, workers=workers, timeout_s=timeout_s, progress=progress,

@@ -1,0 +1,285 @@
+"""KeyRecon configuration: the derivability lattice's alphabet.
+
+KeyFlow answers "may key bytes flow here"; KeyRecon asks the question
+the paper's threat model actually poses: **can a structural attacker
+standing at this program point rebuild the full private key**, given
+the public key (n, e) and what is resident?  The abstract domain is a
+*fragment set* per value — which of the key's derived representations
+the value may carry — and the rules below are the three data tables
+that drive it:
+
+* **Derivation edges** — calls that mint or transform fragments.
+  ``generate_rsa_key`` mints everything; ``RsaKey(...)`` built from
+  raw factors mints the CRT exponents (CRT precompute);
+  ``MontgomeryContext``/``ensure_mont`` copy a factor verbatim into a
+  Montgomery context; the DER/PEM codecs move parts into serialized
+  form.  Each edge belongs to a named *family* so a single family can
+  be ablated (the containment teeth test removes one and proves the
+  dynamic ⊆ static gate fails).
+* **Fragment attributes** — ``key.p`` or ``rsa.bn["d"]``-style loads
+  whose very name identifies the fragment.
+* **Reconstruction rules** — the number theory: which fragment,
+  combined with the *public* key, rebuilds the private key.  Any
+  single CRT factor factors n (q = n / p); either CRT exponent
+  recovers a factor via gcd(m^(e·dp) − m, n); a DER/PEM blob embeds
+  every part verbatim; a Montgomery context holds a factor verbatim.
+  Only ``iqmp`` alone is merely PARTIAL.
+
+This is why a point can be clean by KeyFlow/KeyCount standards — no
+literal copy of *d* survives — yet fully reconstructible, and why
+``rsa_memory_align`` (which concentrates all six parts on one page) is
+flagged as *helping* this attacker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Tuple
+
+#: The fragment alphabet, in display order.  ``n``/``e`` are tracked so
+#: flows of the public half are visible in inventories, but they are
+#: PUBLIC: the attacker is assumed to hold them already and no
+#: reconstruction rule counts them.
+FRAGMENTS: Tuple[str, ...] = (
+    "d", "p", "q", "dmp1", "dmq1", "iqmp",
+    "n", "e", "der", "pem", "mont_p", "mont_q",
+)
+
+#: Fragments the attacker already has (the public key).
+PUBLIC_FRAGMENTS: FrozenSet[str] = frozenset({"n", "e"})
+
+#: The six CRT parts of the paper's key model.
+CRT_PARTS: Tuple[str, ...] = ("d", "p", "q", "dmp1", "dmq1", "iqmp")
+
+#: Everything a full parsed key carries.
+_FULL_KEY: Tuple[str, ...] = CRT_PARTS + ("n", "e")
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """One fragment-minting/transforming call edge.
+
+    ``requires`` is an any-of set over the fragments entering the call
+    (arguments + receiver); empty means unconditional (a true source).
+    ``adds`` is what the call's result carries *in addition to* the
+    propagated input fragments — unless ``project`` is set, in which
+    case the result carries exactly ``adds`` (a projection like
+    ``p_bytes()``, which extracts one part from a key that carries
+    all of them) and nothing else.
+    """
+
+    family: str
+    call: str
+    requires: Tuple[str, ...]
+    adds: Tuple[str, ...]
+    project: bool = False
+
+
+#: The default derivation-edge table, grouped by ablatable family.
+DEFAULT_DERIVATIONS: Tuple[Derivation, ...] = (
+    # -- keygen: key generation mints every fragment of the new key.
+    Derivation("keygen", "generate_rsa_key", (), _FULL_KEY),
+    Derivation("keygen", "generate_prime", (), ("p", "q")),
+    # -- crt-precompute: assembling the CRT struct from raw factors
+    #    mints the derived exponents (dmp1 = d mod p-1, ...).
+    Derivation("crt-precompute", "RsaKey", ("d", "p", "q"),
+               ("dmp1", "dmq1", "iqmp", "n")),
+    # -- parse: decoding serialized key material recovers every part.
+    Derivation("parse", "decode_rsa_private_key", (), _FULL_KEY + ("der",)),
+    Derivation("parse", "d2i_privatekey", (), _FULL_KEY + ("der", "pem")),
+    Derivation("parse", "pem_decode", (), ("der",)),
+    Derivation("parse", "bio_read_file", (), ("pem",)),
+    Derivation("parse", "to_key", CRT_PARTS, _FULL_KEY),
+    # -- montgomery: converting a factor to Montgomery form copies the
+    #    modulus (p or q) verbatim into the context's heap buffer.
+    Derivation("montgomery", "MontgomeryContext", ("p",), ("mont_p",)),
+    Derivation("montgomery", "MontgomeryContext", ("q",), ("mont_q",)),
+    Derivation("montgomery", "ensure_mont", ("p",), ("mont_p",)),
+    Derivation("montgomery", "ensure_mont", ("q",), ("mont_q",)),
+    # -- serialization: encoding embeds the raw part bytes in the blob.
+    Derivation("serialization", "encode_rsa_private_key", CRT_PARTS, ("der",)),
+    Derivation("serialization", "pem_encode", ("der",), ("pem",)),
+    Derivation("serialization", "pem_body_probe", ("pem",), ("der",)),
+    # -- part-view: byte accessors *project* one part out of a key
+    #    that carries all of them (result is only that part).
+    Derivation("part-view", "d_bytes", ("d",), ("d",), project=True),
+    Derivation("part-view", "p_bytes", ("p",), ("p",), project=True),
+    Derivation("part-view", "q_bytes", ("q",), ("q",), project=True),
+    Derivation("part-view", "part_bytes", CRT_PARTS, CRT_PARTS, project=True),
+    # -- memory-read: reading simulated RAM / swap / device images may
+    #    recover any fragment ever written (the paper's premise, and
+    #    KeyFlow's soundness anchor, lifted to the fragment domain).
+    Derivation("memory-read", "read", (), FRAGMENTS),
+    Derivation("memory-read", "read_all", (), FRAGMENTS),
+    Derivation("memory-read", "read_frame", (), FRAGMENTS),
+    Derivation("memory-read", "mem_read", (), FRAGMENTS),
+    Derivation("memory-read", "swap_in", (), FRAGMENTS),
+    Derivation("memory-read", "snapshot", (), FRAGMENTS),
+    Derivation("memory-read", "raw_view", (), FRAGMENTS),
+    Derivation("memory-read", "raw_dump", (), FRAGMENTS),
+    Derivation("memory-read", "read_block_image", (), FRAGMENTS),
+)
+
+#: Attribute loads whose name identifies the fragment (``key.p``,
+#: ``rsa.bn["q"]`` is handled by the subscript rule in the dataflow).
+DEFAULT_FRAGMENT_ATTRS: Mapping[str, Tuple[str, ...]] = {
+    "d": ("d",),
+    "p": ("p",),
+    "q": ("q",),
+    "dmp1": ("dmp1",),
+    "dmq1": ("dmq1",),
+    "iqmp": ("iqmp",),
+    "pem": ("pem",),
+}
+
+#: Calls whose result (and receiver) is clean — same set as KeyFlow's.
+DEFAULT_SCRUBBERS: FrozenSet[str] = frozenset(
+    {"rsa_free", "bn_clear_free", "drop_mont", "scrub_slot", "zeroize"}
+)
+
+#: Calls that *concentrate* fragments: passing a key here coalesces
+#: every CRT part into one physically contiguous region — which makes
+#: the structural attacker's job easier, not harder (the alignment
+#: tension result).  Flagged when >= 2 distinct private fragments
+#: flow in.
+DEFAULT_CONCENTRATORS: FrozenSet[str] = frozenset(
+    {"rsa_memory_align", "rsa_memory_lock"}
+)
+
+#: Families whose derivation events become *findings* (reviewable
+#: minting sites).  ``memory-read`` is deliberately absent: it is the
+#: soundness blanket that keeps the reconstructible *set* a superset
+#: of every dynamic site, but a finding at every ``read()`` call would
+#: bury review; the same asymmetry KeyFlow uses (sources propagate,
+#: sinks are baselined).
+DEFAULT_REPORTED_FAMILIES: Tuple[str, ...] = (
+    "keygen", "crt-precompute", "parse", "montgomery",
+    "serialization", "part-view",
+)
+
+#: The number theory: reconstruction-rule name ->
+#: (any-of fragment set, verdict, how the attacker wins).
+DEFAULT_RECONSTRUCTION_RULES: Mapping[str, Tuple[Tuple[str, ...], str, str]] = {
+    "private-exponent": (
+        ("d",), "FULL_KEY",
+        "d with public (n, e) signs/decrypts directly; factors n via "
+        "the standard e*d-1 square-root walk",
+    ),
+    "factor": (
+        ("p", "q"), "FULL_KEY",
+        "either CRT factor divides n: q = n / p, then every other part "
+        "is recomputed (the paper's own p*q == n observation)",
+    ),
+    "crt-exponent": (
+        ("dmp1", "dmq1"), "FULL_KEY",
+        "gcd(m^(e*dp) - m, n) recovers p by Fermat (e*dp == 1 mod p-1)",
+    ),
+    "serialized-key": (
+        ("der", "pem"), "FULL_KEY",
+        "the DER/PEM blob embeds the raw big-endian bytes of every part",
+    ),
+    "montgomery-residue": (
+        ("mont_p", "mont_q"), "FULL_KEY",
+        "a Montgomery context stores its modulus (p or q) verbatim",
+    ),
+    "crt-coefficient": (
+        ("iqmp",), "PARTIAL",
+        "iqmp alone narrows the factor search but does not factor n",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class KeyReconConfig:
+    """One immutable analysis configuration."""
+
+    derivations: Tuple[Derivation, ...] = DEFAULT_DERIVATIONS
+    fragment_attrs: Mapping[str, Tuple[str, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_FRAGMENT_ATTRS)
+    )
+    scrubbers: FrozenSet[str] = DEFAULT_SCRUBBERS
+    concentrators: FrozenSet[str] = DEFAULT_CONCENTRATORS
+    reconstruction_rules: Mapping[str, Tuple[Tuple[str, ...], str, str]] = field(
+        default_factory=lambda: dict(DEFAULT_RECONSTRUCTION_RULES)
+    )
+    public_fragments: FrozenSet[str] = PUBLIC_FRAGMENTS
+    reported_families: Tuple[str, ...] = DEFAULT_REPORTED_FAMILIES
+
+    # ------------------------------------------------------------------
+    # ablation hooks (the teeth of the containment regression)
+    # ------------------------------------------------------------------
+    def derivation_families(self) -> Tuple[str, ...]:
+        seen: Dict[str, None] = {}
+        for edge in self.derivations:
+            seen.setdefault(edge.family, None)
+        return tuple(seen)
+
+    def without_derivation(self, family: str) -> "KeyReconConfig":
+        """A copy with one derivation-edge family removed.  Removing
+        ``keygen`` (or ``memory-read``) starves the whole lattice; the
+        containment test uses that to prove the gate has teeth."""
+        if family not in self.derivation_families():
+            raise ValueError(f"unknown derivation family {family!r}")
+        return KeyReconConfig(
+            derivations=tuple(
+                edge for edge in self.derivations if edge.family != family
+            ),
+            fragment_attrs=dict(self.fragment_attrs),
+            scrubbers=self.scrubbers,
+            concentrators=self.concentrators,
+            reconstruction_rules=dict(self.reconstruction_rules),
+            public_fragments=self.public_fragments,
+            reported_families=tuple(
+                name for name in self.reported_families if name != family
+            ),
+        )
+
+    def without_fragment_attrs(self) -> "KeyReconConfig":
+        """A copy where attribute loads mint nothing (derivation edges
+        only) — the stronger ablation used by unit teeth tests."""
+        return KeyReconConfig(
+            derivations=self.derivations,
+            fragment_attrs={},
+            scrubbers=self.scrubbers,
+            concentrators=self.concentrators,
+            reconstruction_rules=dict(self.reconstruction_rules),
+            public_fragments=self.public_fragments,
+            reported_families=self.reported_families,
+        )
+
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict[str, object]:
+        """Stable JSON-ready description (embedded in reports)."""
+        return {
+            "fragments": list(FRAGMENTS),
+            "public_fragments": sorted(self.public_fragments),
+            "derivations": [
+                {
+                    "family": edge.family,
+                    "call": edge.call,
+                    "requires": list(edge.requires),
+                    "adds": sorted(edge.adds),
+                    "project": edge.project,
+                }
+                for edge in self.derivations
+            ],
+            "fragment_attrs": {
+                attr: sorted(frags)
+                for attr, frags in sorted(self.fragment_attrs.items())
+            },
+            "scrubbers": sorted(self.scrubbers),
+            "concentrators": sorted(self.concentrators),
+            "reported_families": list(self.reported_families),
+            "reconstruction_rules": {
+                name: {
+                    "requires_any": sorted(frags),
+                    "verdict": verdict,
+                    "why": why,
+                }
+                for name, (frags, verdict, why)
+                in sorted(self.reconstruction_rules.items())
+            },
+        }
+
+
+DEFAULT_CONFIG = KeyReconConfig()

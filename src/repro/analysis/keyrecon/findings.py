@@ -1,0 +1,188 @@
+"""KeyRecon findings and the report object.
+
+A :class:`Finding` is one reportable fact; ``baseline_id`` excludes
+line numbers (``rule:function:detail``) so the reviewed baseline does
+not drift on unrelated edits — the repo-wide convention.
+
+Rules:
+
+* ``full-key-reconstructible`` — a structural attacker holding only
+  the public key rebuilds the full private key from the fragments
+  resident in this function.  The detail names every reconstruction
+  rule that fires, so a function gaining a *new way* to be
+  reconstructible is NEW drift even though it was already flagged.
+* ``partial-reconstructible`` — only partial rules fire (e.g. ``iqmp``
+  alone): the attacker gains leverage but not the key.
+* ``fragment-concentration`` — a call that coalesces several private
+  fragments into one contiguous region (``rsa_memory_align``): a
+  mitigation against the *scanner* that concentrates the structural
+  attacker's target.
+
+Everything in a :class:`KeyReconReport` is sorted; rendering the same
+analysis twice is byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+RULE_NAMES = (
+    "full-key-reconstructible",
+    "partial-reconstructible",
+    "fragment-concentration",
+)
+
+_RULE_DESCRIPTIONS: Dict[str, str] = {
+    "full-key-reconstructible": (
+        "Fragments resident at this program point let an attacker who "
+        "holds only the public key rebuild the full private key "
+        "(factor division, CRT-exponent gcd, serialized blob, or "
+        "Montgomery residue)."
+    ),
+    "partial-reconstructible": (
+        "Resident fragments give a structural attacker partial "
+        "leverage (e.g. iqmp narrows the factor search) without fully "
+        "reconstructing the key."
+    ),
+    "fragment-concentration": (
+        "This call coalesces multiple private-key fragments into one "
+        "physically contiguous region — fewer scanner hits, but a "
+        "single window for the structural attacker."
+    ),
+}
+
+#: SARIF severity per rule: full reconstruction and concentration are
+#: warnings, partial leverage is a note.
+_RULE_LEVELS: Dict[str, str] = {
+    "full-key-reconstructible": "warning",
+    "partial-reconstructible": "note",
+    "fragment-concentration": "warning",
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One static finding, stable across unrelated source edits."""
+
+    rule: str  # one of RULE_NAMES
+    function: str  # fully-qualified: module.qualname
+    rel_path: str
+    line: int
+    detail: str  # stable discriminator within (rule, function)
+    message: str  # human-readable one-liner
+
+    @property
+    def baseline_id(self) -> str:
+        return f"{self.rule}:{self.function}:{self.detail}"
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "function": self.function,
+            "path": self.rel_path,
+            "line": self.line,
+            "detail": self.detail,
+            "message": self.message,
+            "id": self.baseline_id,
+        }
+
+
+def sort_findings(findings: Sequence[Finding]) -> List[Finding]:
+    return sorted(
+        findings, key=lambda f: (f.rule, f.function, f.detail, f.line)
+    )
+
+
+@dataclass
+class KeyReconReport:
+    """Full analysis output: findings + reconstructible set + inventory."""
+
+    findings: List[Finding]
+    #: Sorted functions where a reconstruction rule fires (FULL_KEY or
+    #: PARTIAL) — the static superset that must contain every program
+    #: point the dynamic structural attackers (attacks/predict.py)
+    #: rebuild a key from.
+    reconstructible_set: List[str]
+    #: function -> "FULL_KEY" | "PARTIAL" for every reconstructible
+    #: function.
+    verdicts: Dict[str, str]
+    #: function -> sorted resident fragments (only non-empty entries).
+    inventory: Dict[str, List[str]]
+    files: List[str]
+    function_count: int
+    config: Dict[str, object]
+
+    def finding_ids(self) -> List[str]:
+        return [finding.baseline_id for finding in self.findings]
+
+    def rule_description(self, rule: str) -> str:
+        return _RULE_DESCRIPTIONS.get(rule, rule)
+
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "tool": "keyrecon",
+            "files": list(self.files),
+            "functions": self.function_count,
+            "findings": [finding.to_json_dict() for finding in self.findings],
+            "reconstructible_set": list(self.reconstructible_set),
+            "verdicts": dict(sorted(self.verdicts.items())),
+            "inventory": {
+                name: list(frags)
+                for name, frags in sorted(self.inventory.items())
+            },
+            "config": self.config,
+        }
+
+    def to_sarif(self) -> Dict[str, object]:
+        """SARIF 2.1.0 log via the shared exporter."""
+        from repro.analysis.sarif import sarif_log, sarif_result
+
+        return sarif_log(
+            tool_name="keyrecon",
+            rules=dict(_RULE_DESCRIPTIONS),
+            results=[
+                sarif_result(
+                    rule_id=finding.rule,
+                    message=finding.message,
+                    path=finding.rel_path,
+                    line=finding.line,
+                    level=_RULE_LEVELS.get(finding.rule, "note"),
+                )
+                for finding in self.findings
+            ],
+        )
+
+    def render_text(self) -> str:
+        lines: List[str] = []
+        lines.append(
+            "keyrecon: static reconstructability of derived key fragments"
+        )
+        full = sum(
+            1 for v in self.verdicts.values() if v == "FULL_KEY"
+        )
+        lines.append(
+            f"  {len(self.files)} files, {self.function_count} functions, "
+            f"{len(self.reconstructible_set)} reconstructible "
+            f"({full} FULL_KEY), {len(self.findings)} findings"
+        )
+        lines.append("")
+        if self.findings:
+            lines.append("findings:")
+            for finding in self.findings:
+                lines.append(
+                    f"  {finding.rel_path}:{finding.line}: "
+                    f"[{finding.rule}] {finding.message}"
+                )
+                lines.append(f"      id: {finding.baseline_id}")
+        else:
+            lines.append("findings: none")
+        lines.append("")
+        lines.append(
+            "reconstructible set (verdict, resident fragments per function):"
+        )
+        for name in self.reconstructible_set:
+            frags = ",".join(self.inventory.get(name, []))
+            lines.append(f"  {name}  [{self.verdicts[name]}]  {{{frags}}}")
+        return "\n".join(lines) + "\n"

@@ -51,6 +51,16 @@ from §4 of the paper:
     reports and fault schedules must tick virtual time only.  Harness
     code (``analysis/``, the CLI) may time itself with the real clock.
 
+``derived-secret-scrub``
+    A teardown path that clear-scrubs the *primary* secret (the
+    private exponent, a CRT prime) while the same function also
+    touches *derived* key state — CRT exponents ``dmp1``/``dmq1``, the
+    coefficient ``iqmp``, Montgomery cache residues — that it never
+    scrubs.  Each derived fragment reconstructs the primary secret
+    (KeyRecon's reconstruction rules; §3.2 of the paper), so the
+    half-scrub buys nothing: scrub the fragments alongside, or call
+    ``drop_mont(clear=True)`` for the Montgomery state.
+
 Every rule honours a ``# keylint: ignore[rule]`` comment on the
 flagged line (``ignore[*]`` silences all rules for that line); use it
 where a violation is deliberate, e.g. in negative-path tests.
@@ -78,6 +88,7 @@ RULE_NAMES = (
     "mont-clear",
     "secret-in-log",
     "wall-clock-in-sim",
+    "derived-secret-scrub",
 )
 
 #: Identifier tokens that mark a value as key material.  An argument
@@ -141,6 +152,21 @@ WALL_CLOCK_TIME_FUNCS = frozenset(
 
 #: ``datetime``/``date`` constructors that capture "now".
 WALL_CLOCK_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+
+#: Calls that actually clear bytes (as opposed to plain frees) — the
+#: scrubs derived-secret-scrub audits for completeness.
+CLEAR_SCRUB_CALLS = frozenset({"bn_clear_free", "zeroize"})
+
+#: Tokens naming a *primary* secret: the private exponent and the CRT
+#: primes, which alone determine the key.
+PRIMARY_SECRET_TOKENS = frozenset(
+    {"d", "p", "q", "priv", "private", "secret", "prime", "exponent"}
+)
+
+#: Tokens naming *derived* key state: CRT exponents, the CRT
+#: coefficient, and Montgomery residues.  Each reconstructs the
+#: primary secret, so a scrub that skips them is incomplete.
+DERIVED_SECRET_TOKENS = frozenset({"dmp1", "dmq1", "iqmp", "mont"})
 
 _IGNORE_RE = re.compile(r"#\s*keylint:\s*ignore\[([\w*,\s-]+)\]")
 
@@ -226,6 +252,23 @@ def _identifier_tokens(node: ast.expr) -> Set[str]:
     return tokens
 
 
+def _name_tokens(name: str) -> Set[str]:
+    """Lower-cased underscore-split parts of one identifier."""
+    return {part for part in name.lower().split("_") if part}
+
+
+def _scope_nodes(node: ast.AST) -> Iterable[ast.AST]:
+    """AST nodes of a function's own body, not descending into nested
+    function or lambda scopes (those get their own per-scope checks)."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        sub = stack.pop()
+        yield sub
+        if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(sub))
+
+
 def _call_name(node: ast.Call) -> Optional[str]:
     """The called function's terminal name (``x.y.f(...)`` -> ``f``)."""
     func = node.func
@@ -295,8 +338,51 @@ class _FileLinter(ast.NodeVisitor):
     # ------------------------------------------------------------------
     # function scope tracking (memalign-mlock is a per-function rule)
     # ------------------------------------------------------------------
+    def _check_derived_scrub(self, node, scope_name: str) -> None:
+        """derived-secret-scrub: a scope that clear-scrubs the primary
+        secret but leaves derived fragments (CRT exponents, Montgomery
+        residues) it also touches unscrubbed."""
+        primary_scrubs: List[Tuple[ast.Call, List[str]]] = []
+        derived_seen: Set[str] = set()
+        derived_scrubbed = False
+        for sub in _scope_nodes(node):
+            if isinstance(sub, ast.Name):
+                derived_seen.update(_name_tokens(sub.id) & DERIVED_SECRET_TOKENS)
+            elif isinstance(sub, ast.Attribute):
+                derived_seen.update(_name_tokens(sub.attr) & DERIVED_SECRET_TOKENS)
+            if not isinstance(sub, ast.Call):
+                continue
+            name = _call_name(sub)
+            if name in CLEAR_SCRUB_CALLS and sub.args:
+                tokens = _identifier_tokens(sub.args[0])
+                if tokens & DERIVED_SECRET_TOKENS:
+                    derived_scrubbed = True
+                elif tokens & PRIMARY_SECRET_TOKENS:
+                    primary_scrubs.append(
+                        (sub, sorted(tokens & PRIMARY_SECRET_TOKENS))
+                    )
+            elif name == "drop_mont":
+                clear = next(
+                    (kw.value for kw in sub.keywords if kw.arg == "clear"), None
+                )
+                if isinstance(clear, ast.Constant) and clear.value is True:
+                    derived_scrubbed = True
+        if primary_scrubs and derived_seen and not derived_scrubbed:
+            fragments = ", ".join(sorted(derived_seen))
+            for call, hits in primary_scrubs:
+                self._flag(
+                    call,
+                    "derived-secret-scrub",
+                    f"{scope_name}() scrubs the primary secret "
+                    f"({', '.join(hits)}) but leaves derived key state "
+                    f"({fragments}) unscrubbed; CRT fragments and "
+                    f"Montgomery residues reconstruct the key, so the "
+                    f"half-scrub buys nothing (see keyrecon)",
+                )
+
     def _visit_scope(self, node, scope_name: str) -> None:
         self._func_stack.append((scope_name, [], False))
+        self._check_derived_scrub(node, scope_name)
         self.generic_visit(node)
         name, memaligns, has_mlock = self._func_stack.pop()
         if name in MEMALIGN_DEFINERS:
@@ -593,6 +679,11 @@ RULE_DESCRIPTIONS: Dict[str, str] = {
         "Host wall-clock read (time.time/sleep/monotonic, "
         "datetime.now) inside the simulator; use SimClock virtual "
         "time."
+    ),
+    "derived-secret-scrub": (
+        "Primary secret clear-scrubbed while derived key state (CRT "
+        "exponents, iqmp, Montgomery residues) in the same scope is "
+        "not; derived fragments reconstruct the key."
     ),
 }
 

@@ -43,6 +43,12 @@ from repro.errors import WorkloadError
 #: Spec kinds the engine knows how to execute.
 RUN_KINDS = ("ext2", "ntty", "scp", "siege")
 
+#: How the attack kinds analyze the disclosed bytes: ``exact`` is the
+#: paper's verbatim pattern search; ``predict`` is the structural
+#: attacker (:mod:`repro.attacks.predict`) that rebuilds the key from
+#: derived fragments plus the public half.
+ATTACKERS = ("exact", "predict")
+
 #: Progress callback: (done, total, elapsed_s, eta_s).
 ProgressFn = Callable[[int, int, float, float], None]
 
@@ -66,6 +72,12 @@ class RunSpec:
     base_seed: int
     memory_mb: int
     key_bits: int
+    #: Dump analysis mode (``exact`` / ``predict``).  Deliberately NOT
+    #: part of :func:`derive_seed`'s blob: the attacker choice changes
+    #: how the disclosed bytes are read, not which machine is booted,
+    #: so both attackers sample the *same* machines — and every
+    #: pre-existing exact-mode seed stays byte-identical.
+    attacker: str = "exact"
 
     def cell(self) -> Tuple[int, int]:
         return (self.conns, self.dirs)
@@ -158,11 +170,12 @@ def ext2_sweep_specs(
     seed: int,
     memory_mb: int,
     key_bits: int,
+    attacker: str = "exact",
 ) -> List[RunSpec]:
     """Figure 1/2 grid: fresh machine per (N, D, repetition)."""
     return [
         RunSpec("ext2", server, level.value, conns, dirs, rep,
-                seed, memory_mb, key_bits)
+                seed, memory_mb, key_bits, attacker)
         for conns in connections
         for dirs in directories
         for rep in range(repetitions)
@@ -177,11 +190,12 @@ def ntty_sweep_specs(
     seed: int,
     memory_mb: int,
     key_bits: int,
+    attacker: str = "exact",
 ) -> List[RunSpec]:
     """Figure 3/4/7/17/18 grid: fresh machine per (N, repetition)."""
     return [
         RunSpec("ntty", server, level.value, conns, 0, rep,
-                seed, memory_mb, key_bits)
+                seed, memory_mb, key_bits, attacker)
         for conns in connections
         for rep in range(repetitions)
     ]
@@ -211,6 +225,8 @@ def execute_spec(spec: RunSpec) -> RunOutcome:
     """Boot one machine, run one attack/bench, return the sample."""
     if spec.kind not in RUN_KINDS:
         raise WorkloadError(f"unknown spec kind {spec.kind!r}")
+    if spec.attacker not in ATTACKERS:
+        raise WorkloadError(f"unknown attacker {spec.attacker!r}")
     seed = derive_seed(spec)
     if spec.kind in ("scp", "siege"):
         from repro.analysis.perfbench import run_scp_stress, run_siege
@@ -242,13 +258,18 @@ def execute_spec(spec: RunSpec) -> RunOutcome:
         )
     )
     sim.start_server()
+    predict = spec.attacker == "predict"
     if spec.kind == "ext2":
         sim.cycle_connections(spec.conns)
-        attack = sim.run_ext2_attack(spec.dirs)
+        attack = (
+            sim.run_ext2_predict(spec.dirs)
+            if predict
+            else sim.run_ext2_attack(spec.dirs)
+        )
     else:
         if spec.conns:
             sim.hold_connections(spec.conns)
-        attack = sim.run_ntty_attack()
+        attack = sim.run_ntty_predict() if predict else sim.run_ntty_attack()
     return RunOutcome(
         spec=spec,
         seed=seed,

@@ -1,20 +1,21 @@
 """``repro analyze``: the whole static stack over one shared IR build.
 
-Running the four static layers independently parses and resolves the
-entire project four times.  This module discovers files once, builds
+Running the five static layers independently parses and resolves the
+entire project five times.  This module discovers files once, builds
 one :class:`~repro.analysis.ir.project.Project`, and feeds it to:
 
 1. **keylint** — syntactic rules over the same discovered file list;
 2. **KeyFlow** — interprocedural taint;
 3. **KeyState** — mitigation-API typestate;
 4. **KeyCount** — quantitative copy bounds;
+5. **KeyRecon** — reconstructability of derived fragments;
 
-then merges the four SARIF logs into a single multi-run document
+then merges the five SARIF logs into a single multi-run document
 (:func:`repro.analysis.sarif.merge_sarif_logs`) so CI uploads one
-artifact instead of four.
+artifact instead of five.
 
 Gate semantics (``--check``): keylint violations fail directly (its
-baseline is "zero findings in src/repro"); the three IR layers fail on
+baseline is "zero findings in src/repro"); the four IR layers fail on
 baseline *drift* — a new finding or a stale suppression — via their
 packaged reviewed baselines.
 """
@@ -87,7 +88,7 @@ class AnalyzeResult:
 
     def render_text(self) -> str:
         lines: List[str] = []
-        lines.append("repro analyze: the five-layer static stack")
+        lines.append("repro analyze: the six-layer stack, static half")
         lines.append(
             f"  shared IR build: {len(self.files)} files, "
             f"{self.function_count} functions"
@@ -120,7 +121,8 @@ def run_all(
     files: Optional[Sequence[Tuple[Path, Path]]] = None,
     check: bool = False,
 ) -> AnalyzeResult:
-    """Run keylint → KeyFlow → KeyState → KeyCount over one IR build."""
+    """Run keylint → KeyFlow → KeyState → KeyCount → KeyRecon over one
+    IR build."""
     roots = [Path(p) for p in paths] if paths else [REPRO_ROOT]
     pairs = list(files) if files is not None else discover_files(roots)
     project = Project.load(roots, files=pairs)

@@ -1,6 +1,6 @@
 """Shared CLI plumbing for the baseline-gated analysis layers.
 
-KeyFlow, KeyState, and KeyCount expose the identical package API
+KeyFlow, KeyState, KeyCount, and KeyRecon expose the identical package API
 (``analyze`` / ``load_baseline`` / ``compare_baseline`` /
 ``write_baseline`` / a packaged ``DEFAULT_BASELINE_PATH``), and their
 command-line front ends — both the ``python -m repro <tool>``
@@ -31,7 +31,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 #: Analysis layers sharing the package API, in stack order.
-BASELINE_TOOLS = ("keyflow", "keystate", "keycount")
+BASELINE_TOOLS = ("keyflow", "keystate", "keycount", "keyrecon")
 
 REPORT_FORMATS = ("text", "json", "sarif")
 

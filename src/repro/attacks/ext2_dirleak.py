@@ -52,19 +52,19 @@ class Ext2DirLeakAttack:
         """The kernel+fs combination actually leaks."""
         return self.usb_fs.leaks_on_mkdir(self.kernel)
 
-    def run(self, num_dirs: int) -> AttackResult:
-        """Create ``num_dirs`` directories and search the device image.
-
-        Only the blocks written by *this* run are searched (the paper
-        used a fresh device per attack).  Works — returning zero finds
-        — on patched kernels too, so mitigation experiments use the
-        same code path.
+    def harvest(self, num_dirs: int, attack: str = "ext2-dirleak") -> bytes:
+        """Create ``num_dirs`` directories, unplug, and return the raw
+        blocks written by *this* run (the paper used a fresh device per
+        attack).  The disclosure is reported to KeySan under the
+        ``attack`` label; what the caller *does* with the bytes —
+        exact-pattern search here, structural reconstruction in
+        :class:`repro.attacks.predict.Ext2PredictAttack` — is its
+        business.
         """
         if num_dirs <= 0:
             raise AttackError("num_dirs must be positive")
         self._attack_counter += 1
         run_tag = self._attack_counter
-        start_mark = self.kernel.clock.now_us
         image_offset = len(self.usb_fs.block_image)
 
         for index in range(num_dirs):
@@ -74,11 +74,21 @@ class Ext2DirLeakAttack:
         # "We removed the USB device, and then simply searched [it]".
         self.usb_fs.drop_buffers(self.kernel)
         disclosed = bytes(self.usb_fs.block_image[image_offset:])
-        counts = self.patterns.count_in(disclosed)
         if self.kernel.keysan is not None:
             # The stale bytes left RAM via the device image; value-match
             # the exfiltrated blocks against the registered secrets.
-            self.kernel.keysan.note_disclosure("ext2-dirleak", data=disclosed)
+            self.kernel.keysan.note_disclosure(attack, data=disclosed)
+        return disclosed
+
+    def run(self, num_dirs: int) -> AttackResult:
+        """Run the leak and exact-search the device image.
+
+        Works — returning zero finds — on patched kernels too, so
+        mitigation experiments use the same code path.
+        """
+        start_mark = self.kernel.clock.now_us
+        disclosed = self.harvest(num_dirs)
+        counts = self.patterns.count_in(disclosed)
         elapsed = (self.kernel.clock.now_us - start_mark) / 1e6
         return AttackResult(
             counts=counts, disclosed_bytes=len(disclosed), elapsed_s=elapsed

@@ -214,6 +214,12 @@ def cmd_keycount(args: argparse.Namespace) -> int:
     return run_analysis_tool("keycount", args)
 
 
+def cmd_keyrecon(args: argparse.Namespace) -> int:
+    from repro.analysis.toolcli import run_analysis_tool
+
+    return run_analysis_tool("keyrecon", args)
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
@@ -338,13 +344,20 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         "workers": args.workers,
         "seed": args.seed,
         "key_bits": args.key_bits,
+        "attacker": args.attacker,
     }
     failures: list = []
+    if args.attacker != "exact" and args.kind not in ("ntty", "ext2"):
+        print(
+            f"--attacker applies to ntty/ext2 sweeps, not {args.kind!r}",
+            file=sys.stderr,
+        )
+        return 2
     if args.kind == "ntty":
         result = ntty_attack_sweep(
             args.server, grids["ntty_connections"], grids["ntty_repetitions"],
             level, seed=args.seed, memory_mb=ntty_mb,
-            key_bits=args.key_bits, **common,
+            key_bits=args.key_bits, attacker=args.attacker, **common,
         )
         payload.update(memory_mb=ntty_mb, cells=_ntty_cells_json(result))
         failures = result.failures
@@ -352,7 +365,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         result = ext2_attack_sweep(
             args.server, grids["ext2_connections"], grids["ext2_directories"],
             grids["ext2_repetitions"], level, seed=args.seed,
-            memory_mb=ext2_mb, key_bits=args.key_bits, **common,
+            memory_mb=ext2_mb, key_bits=args.key_bits,
+            attacker=args.attacker, **common,
         )
         payload.update(memory_mb=ext2_mb, cells=_ext2_cells_json(result))
         failures = result.failures
@@ -640,6 +654,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--key-bits", type=int, default=1024, help="RSA modulus size"
     )
     sweep.add_argument(
+        "--attacker", choices=("exact", "predict"), default="exact",
+        help="dump analysis: 'exact' pattern search (the paper's "
+             "metric) or 'predict' structural key reconstruction from "
+             "derived fragments (ntty/ext2 kinds only)",
+    )
+    sweep.add_argument(
         "--out", default=None,
         help="output JSON path ('-' prints to stdout; default "
              "benchmarks/results/sweep_<kind>_<server>_<scale>.json)",
@@ -781,10 +801,17 @@ def build_parser() -> argparse.ArgumentParser:
     add_analysis_arguments(keycount)
     keycount.set_defaults(func=cmd_keycount)
 
+    keyrecon = sub.add_parser(
+        "keyrecon",
+        help="static reconstructability analysis of derived key fragments",
+    )
+    add_analysis_arguments(keyrecon)
+    keyrecon.set_defaults(func=cmd_keyrecon)
+
     analyze = sub.add_parser(
         "analyze",
         help="run the whole static stack (keylint+KeyFlow+KeyState+"
-             "KeyCount) over one shared IR build with merged SARIF",
+             "KeyCount+KeyRecon) over one shared IR build with merged SARIF",
     )
     analyze.add_argument(
         "paths", nargs="*",

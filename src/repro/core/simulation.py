@@ -28,6 +28,7 @@ from repro.apps.sshd import OpenSSHServer, SshdConfig
 from repro.attacks.ext2_dirleak import Ext2DirLeakAttack
 from repro.attacks.keysearch import AttackResult, KeyPatternSet
 from repro.attacks.ntty_dump import NttyDumpAttack
+from repro.attacks.predict import Ext2PredictAttack, NttyPredictAttack, PredictResult
 from repro.attacks.scanner import MemoryScanner, ScanReport
 from repro.core.protection import (
     ProtectionLevel,
@@ -175,6 +176,8 @@ class Simulation:
         self._scanner = MemoryScanner(self.kernel, self.patterns)
         self._dirleak: Optional[Ext2DirLeakAttack] = None
         self._ntty = NttyDumpAttack(self.kernel, self.patterns)
+        self._ntty_predict: Optional[NttyPredictAttack] = None
+        self._ext2_predict: Optional[Ext2PredictAttack] = None
 
         self.faults = None
         if self.config.fault_plan is not None:
@@ -248,6 +251,8 @@ class Simulation:
         self.server.incarnation = incarnation
         self._scanner = MemoryScanner(self.kernel, self.patterns)
         self._ntty = NttyDumpAttack(self.kernel, self.patterns)
+        self._ntty_predict = None
+        self._ext2_predict = None
 
     # ------------------------------------------------------------------
     # server driving
@@ -308,6 +313,26 @@ class Simulation:
     def run_ntty_attack(self) -> AttackResult:
         """The [12] random-window dump attack."""
         return self._ntty.run(self.attack_rng)
+
+    def run_ext2_predict(self, num_dirs: int = 1000) -> PredictResult:
+        """The [17] leak driven by the structural attacker: success
+        means the full key was *rebuilt* from derived fragments + the
+        public key, not that a verbatim pattern matched."""
+        if self._dirleak is None:
+            self._dirleak = Ext2DirLeakAttack(self.kernel, self.patterns)
+        if self._ext2_predict is None:
+            self._ext2_predict = Ext2PredictAttack(
+                self._dirleak, self.key.n, self.key.e
+            )
+        return self._ext2_predict.run(num_dirs)
+
+    def run_ntty_predict(self) -> PredictResult:
+        """The [12] dump driven by the structural attacker."""
+        if self._ntty_predict is None:
+            self._ntty_predict = NttyPredictAttack(
+                self.kernel, self.key.n, self.key.e
+            )
+        return self._ntty_predict.run(self.attack_rng)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -1,0 +1,13 @@
+"""Fixture: primary-secret scrubs that forget the derived fragments."""
+
+
+def teardown_key(rsa):
+    bn_clear_free(rsa.d_bn)   # flagged: dmp1 below is never scrubbed
+    bn_clear_free(rsa.p_bn)   # flagged for the same reason
+    stash = rsa.dmp1_bn
+    return stash
+
+
+def fork_exit(key):
+    zeroize(key.private_bytes)   # flagged: Montgomery residues survive
+    key.drop_mont()  # keylint: ignore[mont-clear]

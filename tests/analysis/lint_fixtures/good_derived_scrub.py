@@ -1,0 +1,16 @@
+"""Fixture: teardown paths that scrub derived state with the primary."""
+
+
+def teardown_key(rsa):
+    bn_clear_free(rsa.d_bn)
+    bn_clear_free(rsa.dmp1_bn)   # derived fragment scrubbed alongside
+    bn_clear_free(rsa.iqmp_bn)
+
+
+def fork_exit(key):
+    zeroize(key.private_bytes)
+    key.drop_mont(clear=True)   # Montgomery residues cleared too
+
+
+def no_derived_state(key):
+    zeroize(key.priv_bytes)   # nothing derived in scope: nothing owed

@@ -48,7 +48,9 @@ class TestCommittedBaseline:
             )
         )
         tools = [e["tool"] for e in payload["results"]]
-        assert tools == ["keylint", "keyflow", "keystate", "keycount", "analyze"]
+        assert tools == [
+            "keylint", "keyflow", "keystate", "keycount", "keyrecon", "analyze"
+        ]
         for e in payload["results"]:
             assert e["best_seconds"] > 0
             assert "findings" in e

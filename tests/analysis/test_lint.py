@@ -107,6 +107,28 @@ class TestRulesFire:
         source = (FIXTURES / "kernel" / "bad_wall_clock.py").read_text()
         assert lint_source(source, "analysis/bench.py") == []
 
+    def test_derived_scrub_flags_forgotten_fragments(self):
+        violations = lint_file(FIXTURES / "bad_derived_scrub.py")
+        assert rules_in(violations) == {"derived-secret-scrub"}
+        # two bn_clear_free calls next to an unscrubbed dmp1, plus a
+        # zeroize in a scope whose drop_mont() never clears
+        assert len(violations) == 3
+        assert all("derived key state" in v.message for v in violations)
+
+    def test_derived_scrub_accepts_full_teardown(self):
+        assert lint_file(FIXTURES / "good_derived_scrub.py") == []
+
+    def test_derived_scrub_scopes_are_per_function(self):
+        # The primary scrub and the derived touch live in *different*
+        # functions: neither scope owes the other a scrub.
+        source = (
+            "def scrub(rsa):\n"
+            "    bn_clear_free(rsa.d_bn)\n"
+            "def elsewhere(rsa):\n"
+            "    return rsa.dmp1\n"
+        )
+        assert lint_source(source, "f.py") == []
+
     def test_every_rule_has_a_firing_fixture(self):
         violations = lint_paths([FIXTURES])
         assert rules_in(violations) == set(RULE_NAMES)

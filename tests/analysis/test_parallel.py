@@ -161,6 +161,63 @@ class TestFailureContainment:
             )
 
 
+class TestAttackerAxis:
+    def test_attacker_is_not_in_the_seed_blob(self):
+        """Exact and predict attacks on the same cell must sample the
+        *same* machine — the attacker axis changes the lens, not the
+        world, so the derived seed deliberately excludes it (and every
+        pre-existing exact-sweep seed stays byte-identical)."""
+        base = ntty_sweep_specs(
+            "openssh", [10], 1, ProtectionLevel.NONE, 0, 8, 256
+        )[0]
+        pred = ntty_sweep_specs(
+            "openssh", [10], 1, ProtectionLevel.NONE, 0, 8, 256, "predict"
+        )[0]
+        assert base.attacker == "exact"
+        assert pred.attacker == "predict"
+        assert derive_seed(base) == derive_seed(pred)
+
+    def test_attacker_roster(self):
+        assert parallel.ATTACKERS == ("exact", "predict")
+
+    def test_unknown_attacker_rejected(self):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            parallel.execute_spec(
+                RunSpec(
+                    "ntty", "openssh", "none", 1, 0, 0, 0, 8, 256, "psychic"
+                )
+            )
+
+    def test_ext2_specs_carry_the_attacker(self):
+        specs = ext2_sweep_specs(
+            "openssh", [25], [200], 2, ProtectionLevel.NONE, 0, 8, 256,
+            "predict",
+        )
+        assert specs and all(spec.attacker == "predict" for spec in specs)
+
+    def test_predict_outcomes_merge_like_exact(self):
+        specs = ntty_sweep_specs(
+            "openssh", [10], 2, ProtectionLevel.NONE, 7, 8, 256, "predict"
+        )
+        outcomes, failures = run_specs(specs, workers=1)
+        assert failures == []
+        result = merge_ntty("openssh", ProtectionLevel.NONE, outcomes, [])
+        cell = result.cells[10]
+        assert cell.samples == 2
+        assert 0.0 <= cell.success_rate <= 1.0
+
+    def test_predict_sweep_identical_at_any_worker_count(self):
+        kwargs = dict(
+            connections=[0, 10], repetitions=2, seed=7,
+            memory_mb=8, key_bits=256, attacker="predict",
+        )
+        serial = ntty_attack_sweep("openssh", workers=1, **kwargs)
+        pooled = ntty_attack_sweep("openssh", workers=3, **kwargs)
+        assert serial.cells == pooled.cells
+
+
 class TestPerfSpecs:
     def test_scp_spec_roundtrip(self):
         spec = parallel.perf_spec(

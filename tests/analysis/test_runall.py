@@ -1,4 +1,4 @@
-"""The analyze meta-command: four layers, one IR build, one SARIF."""
+"""The analyze meta-command: five layers, one IR build, one SARIF."""
 
 import json
 
@@ -17,7 +17,9 @@ def result():
 
 class TestRunAll:
     def test_layer_roster(self):
-        assert LAYERS == ("keylint", "keyflow", "keystate", "keycount")
+        assert LAYERS == (
+            "keylint", "keyflow", "keystate", "keycount", "keyrecon"
+        )
 
     def test_shipped_tree_passes_the_gate(self, result):
         assert result.violations == []
@@ -25,7 +27,9 @@ class TestRunAll:
         assert result.ok
 
     def test_every_ir_layer_produced_a_report(self, result):
-        assert set(result.reports) == {"keyflow", "keystate", "keycount"}
+        assert set(result.reports) == {
+            "keyflow", "keystate", "keycount", "keyrecon"
+        }
         for report in result.reports.values():
             assert report.findings is not None
 
@@ -34,6 +38,33 @@ class TestRunAll:
         names = [run["tool"]["driver"]["name"] for run in doc["runs"]]
         assert names == list(LAYERS)
         assert validate_sarif(doc) == []
+
+    def test_rule_ids_unique_within_and_across_runs(self, result):
+        """Every run declares each rule once, every result references a
+        declared rule, and no rule id is shared between layers — a
+        SARIF viewer aggregating the merged log can key on ruleId
+        alone."""
+        doc = result.to_sarif()
+        seen = {}
+        for run in doc["runs"]:
+            layer = run["tool"]["driver"]["name"]
+            ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+            assert len(ids) == len(set(ids)), layer
+            for rule_id in ids:
+                assert rule_id not in seen, (
+                    f"rule {rule_id!r} declared by both {seen.get(rule_id)} "
+                    f"and {layer}"
+                )
+                seen[rule_id] = layer
+            for res in run["results"]:
+                assert res["ruleId"] in ids, (layer, res["ruleId"])
+
+    def test_run_ordering_and_payload_are_stable(self, result):
+        """Two full runs serialize byte-identically — run order included."""
+        again = run_all(check=True)
+        assert json.dumps(result.to_sarif(), sort_keys=True) == json.dumps(
+            again.to_sarif(), sort_keys=True
+        )
 
     def test_json_payload_serializes(self, result):
         payload = json.loads(json.dumps(result.to_json_dict(), sort_keys=True))
@@ -84,3 +115,30 @@ class TestGateFailure:
 
         with pytest.raises(FileNotFoundError):
             run_all(paths=[Path("/nonexistent/tree")])
+
+    def test_baseline_drift_is_isolated_per_tool(self, tmp_path):
+        """A tree that mints a NEW keyrecon finding while every shipped
+        entry goes STALE must report each tool's drift separately: the
+        keyrecon-only finding shows up in keyrecon's drift and in no
+        other tool's."""
+        minting_id = (
+            "full-key-reconstructible:minting_fixture.deliberately_minting:"
+            "keygen:crt-exponent+factor+private-exponent"
+        )
+        (tmp_path / "minting_fixture.py").write_text(
+            "def deliberately_minting(process, bits):\n"
+            "    key = generate_rsa_key(process, bits)\n"
+            "    return key\n",
+            encoding="utf-8",
+        )
+        result = run_all(paths=[tmp_path], check=True)
+        assert not result.ok
+        assert minting_id in result.drifts["keyrecon"].new
+        # the shipped baselines all reference the real tree: stale
+        assert result.drifts["keyflow"].stale
+        assert result.drifts["keyrecon"].stale
+        for tool, drift in result.drifts.items():
+            if tool == "keyrecon":
+                continue
+            assert minting_id not in drift.new, tool
+            assert minting_id not in drift.stale, tool

@@ -106,3 +106,13 @@ class TestCommands:
     def test_lint_default_target_is_package(self, capsys):
         assert main(["lint"]) == 0
         assert "no violations" in capsys.readouterr().out
+
+    def test_sweep_attacker_axis_is_ntty_ext2_only(self, capsys):
+        assert main(
+            ["sweep", "--kind", "perf", "--attacker", "predict", "--out", "-"]
+        ) == 2
+        assert "--attacker applies" in capsys.readouterr().err
+
+    def test_keyrecon_clean_tree(self, capsys):
+        assert main(["keyrecon", "--check-baseline"]) == 0
+        assert "clean" in capsys.readouterr().out

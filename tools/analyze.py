@@ -7,8 +7,8 @@ Usage::
     python tools/analyze.py --check                  # CI gate
     python tools/analyze.py --format sarif --out analysis.sarif
 
-Runs keylint → KeyFlow → KeyState → KeyCount over a single shared
-project parse (instead of four independent ones) and emits one merged
+Runs keylint → KeyFlow → KeyState → KeyCount → KeyRecon over a single
+shared project parse (instead of five independent ones) and emits one merged
 multi-run SARIF document.  ``--check`` gates on keylint violations and
 on baseline drift in each IR layer, exiting 1 on any failure — this is
 the single entry point CI's ``analyze`` job calls.  Equivalent to
@@ -34,8 +34,9 @@ from repro.analysis.toolcli import emit  # noqa: E402
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="analyze",
-        description="run keylint + KeyFlow + KeyState + KeyCount over "
-                    "one shared IR build, merging SARIF output",
+        description="run keylint + KeyFlow + KeyState + KeyCount + "
+                    "KeyRecon over one shared IR build, merging SARIF "
+                    "output",
     )
     parser.add_argument(
         "paths", nargs="*", type=Path,

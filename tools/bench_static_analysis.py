@@ -3,8 +3,9 @@
 
 Times each layer end to end — keylint (AST hygiene lint), KeyFlow
 (interprocedural taint), KeyState (interprocedural typestate),
-KeyCount (quantitative copy bounds) and the combined ``analyze``
-meta-runner (all four over one shared IR build) — and writes
+KeyCount (quantitative copy bounds), KeyRecon (fragment
+reconstructability) and the combined ``analyze`` meta-runner (all
+five over one shared IR build) — and writes
 ``BENCH_static_analysis.json`` at the repo root so the
 analysis-performance trajectory is tracked alongside the simulation
 benchmarks.  Each entry records per-layer wall time (best and mean)
@@ -106,6 +107,18 @@ def _run_keycount():
     }
 
 
+def _run_keyrecon():
+    from repro.analysis.keyrecon import analyze
+
+    report = analyze(paths=[TARGET])
+    return {
+        "findings": len(report.findings),
+        "files": len(report.files),
+        "functions": report.function_count,
+        "reconstructible": len(report.reconstructible_set),
+    }
+
+
 def _run_analyze():
     from repro.analysis.runall import run_all
 
@@ -123,6 +136,7 @@ RUNS = [
     ("keyflow", _run_keyflow),
     ("keystate", _run_keystate),
     ("keycount", _run_keycount),
+    ("keyrecon", _run_keyrecon),
     ("analyze", _run_analyze),
 ]
 
@@ -165,8 +179,8 @@ def check_regression(results, baseline_payload):
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="bench_static_analysis",
-        description="time keylint / KeyFlow / KeyState / KeyCount / analyze "
-                    "over src/repro",
+        description="time keylint / KeyFlow / KeyState / KeyCount / "
+                    "KeyRecon / analyze over src/repro",
     )
     parser.add_argument(
         "--repeat", type=int, default=3,

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Standalone KeyRecon runner: static reconstructability over a tree.
+
+Usage::
+
+    python tools/keyrecon.py [PATH ...]             # default: src/repro
+    python tools/keyrecon.py --check-baseline       # CI drift gate
+    python tools/keyrecon.py --format sarif         # for code scanning
+
+The text report prints the derivation-site findings (where fragment
+sets sufficient for full-key reconstruction are minted, plus
+``fragment-concentration`` sites where a mitigation coalesces CRT
+parts into one contiguous window) followed by the reconstructible-set
+inventory that anchors the dynamic ⊆ static containment test.  Exit
+status with ``--check-baseline`` is 1 on any drift.  Equivalent to
+``python -m repro keyrecon`` but importable-path independent.  All
+argument and baseline plumbing lives in
+:mod:`repro.analysis.toolcli`.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.analysis.toolcli import make_standalone_main  # noqa: E402
+
+main = make_standalone_main(
+    "keyrecon",
+    "static reconstructability analysis of derived key fragments",
+)
+
+if __name__ == "__main__":
+    sys.exit(main())

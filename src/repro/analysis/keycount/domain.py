@@ -28,18 +28,24 @@ per_conn=0)`` satisfies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
-
-#: Saturation cap for the constant part; beyond it the analysis can no
-#: longer prove a useful bound and widens to ⊤.
-CONST_CAP = 256
-#: Saturation cap for the per-connection coefficient.
-COEFF_CAP = 64
+from typing import ClassVar, Dict, Optional
 
 
 @dataclass(frozen=True)
 class Count:
-    """A saturating symbolic copy bound ``const + per_conn·N`` (or ⊤)."""
+    """A saturating symbolic copy bound ``const + per_conn·N`` (or ⊤).
+
+    The saturation caps are class attributes so other analyses can
+    subclass the domain with different headroom (KeySpan's ``Ticks``
+    measures event distances, which run far larger than copy counts)
+    while inheriting all the lattice algebra.
+    """
+
+    #: Saturation cap for the constant part; beyond it the analysis can
+    #: no longer prove a useful bound and widens to ⊤.
+    CONST_CAP: ClassVar[int] = 256
+    #: Saturation cap for the per-connection coefficient.
+    COEFF_CAP: ClassVar[int] = 64
 
     const: int = 0
     per_conn: int = 0
@@ -48,7 +54,7 @@ class Count:
     def __post_init__(self) -> None:
         if self.const < 0 or self.per_conn < 0:
             raise ValueError("Count components must be non-negative")
-        if self.const > CONST_CAP or self.per_conn > COEFF_CAP:
+        if self.const > type(self).CONST_CAP or self.per_conn > type(self).COEFF_CAP:
             # Saturate by widening: a blown cap means "unbounded", which
             # is sound (never smaller than the true count).
             object.__setattr__(self, "top", True)
@@ -79,31 +85,34 @@ class Count:
         return not self.top and self.const == 0 and self.per_conn == 0
 
     def add(self, other: "Count") -> "Count":
+        cls = type(self)
         if self.top or other.top:
-            return Count.unbounded()
-        return Count(self.const + other.const, self.per_conn + other.per_conn)
+            return cls.unbounded()
+        return cls(self.const + other.const, self.per_conn + other.per_conn)
 
     def mul(self, other: "Count") -> "Count":
         """Multiply two bounds; ``N·N`` has no element and widens to ⊤."""
+        cls = type(self)
         if self.is_zero or other.is_zero:
-            return Count.zero()
+            return cls.zero()
         if self.top or other.top:
-            return Count.unbounded()
+            return cls.unbounded()
         if self.per_conn and other.per_conn:
-            return Count.unbounded()
-        return Count(
+            return cls.unbounded()
+        return cls(
             self.const * other.const,
             self.const * other.per_conn + self.per_conn * other.const,
         )
 
     def scale(self, k: int) -> "Count":
-        return self.mul(Count(k, 0))
+        return self.mul(type(self)(k, 0))
 
     def join(self, other: "Count") -> "Count":
         """Least upper bound (control-flow merge)."""
+        cls = type(self)
         if self.top or other.top:
-            return Count.unbounded()
-        return Count(
+            return cls.unbounded()
+        return cls(
             max(self.const, other.const), max(self.per_conn, other.per_conn)
         )
 
@@ -169,3 +178,8 @@ class Count:
             "top": self.top,
             "render": self.render(),
         }
+
+
+#: Module-level aliases, kept for callers that import the caps directly.
+CONST_CAP = Count.CONST_CAP
+COEFF_CAP = Count.COEFF_CAP

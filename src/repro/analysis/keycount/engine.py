@@ -226,7 +226,7 @@ def analyze(
     layers (the determinism suite shuffles it); the round-based
     fixpoint is order-free, so it is ignored.  ``project`` reuses an
     already-loaded IR build (the ``repro analyze`` meta-command parses
-    the tree once for all four layers).
+    the tree once for every IR layer).
     """
     del initial_order  # results provably do not depend on it
     if project is None:

@@ -1,0 +1,50 @@
+"""KeySpan's reviewed-findings baseline.
+
+Drift semantics (NEW / STALE, non-empty justifications, no blanket
+suppressions) live in the shared :mod:`repro.analysis.baseline`; this
+module just binds them to the ``keyspan`` tool name and the baseline
+file shipped next to the package.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.analysis.baseline import BaselineDrift
+from repro.analysis import baseline as _shared
+from repro.analysis.keyspan.findings import KeySpanReport
+
+__all__ = [
+    "BaselineDrift",
+    "DEFAULT_BASELINE_PATH",
+    "compare_baseline",
+    "load_baseline",
+    "write_baseline",
+]
+
+#: The baseline shipped with the package (mint sites for src/repro).
+DEFAULT_BASELINE_PATH = Path(__file__).resolve().parent / "baseline.json"
+
+
+def load_baseline(path: Optional[Path] = None) -> Dict[str, str]:
+    return _shared.load_baseline(path if path is not None else DEFAULT_BASELINE_PATH)
+
+
+def compare_baseline(
+    report: KeySpanReport, baseline: Dict[str, str]
+) -> BaselineDrift:
+    return _shared.compare_baseline(report, baseline, tool="keyspan")
+
+
+def write_baseline(
+    report: KeySpanReport,
+    path: Optional[Path] = None,
+    existing: Optional[Dict[str, str]] = None,
+) -> Path:
+    return _shared.write_baseline(
+        report,
+        path if path is not None else DEFAULT_BASELINE_PATH,
+        existing=existing,
+        tool="keyspan",
+    )

@@ -1,0 +1,345 @@
+"""What KeySpan knows about the codebase: mints, scrubs, and the cost
+model.
+
+The analysis is parameterized, not hard-coded.  Three vocabularies
+drive it:
+
+* **Mint calls** — terminals whose invocation materializes a key copy
+  (the same inventory KeyCount prices, minus the swap path, which has
+  no program-point mint).  One call can mint several kinds:
+  ``bio_read_file`` creates both the heap PEM staging buffer and the
+  page-cache copy of the key file.
+
+* **Scrub events** — how a copy dies.  Unconditional scrubbers
+  (``bn_clear_free``, ``drop_mont`` …) always end the window.  A
+  ``free`` ends it only if it actually clears: ``clear=True``
+  literally, ``clear=<flag>`` when the aliased policy flag is on at
+  the evaluated ProtectionLevel, or any free at all once the kernel
+  zero-on-free patch is active.  A ``mm.write(buf, b"\\x00"*n)``
+  overwrite is a scrub for the named buffer.
+
+* **The tick cost model** — each statement costs one abstract event
+  tick; calls are priced by callee summaries except for the hot
+  memory-plumbing terminals in :data:`DEFAULT_PRIMITIVE_COSTS`, which
+  get fixed constants (their internals are page loops whose trip
+  counts are data sizes, not exposure-relevant control flow).  Loops
+  over connection-shaped iterables (and ``while True`` serve loops)
+  multiply by the symbolic ``N``; loops over data multiply by
+  :attr:`KeySpanConfig.default_loop_trips`.
+
+Every entry is an ablation hook: :meth:`KeySpanConfig.without_scrub`
+and :meth:`KeySpanConfig.without_mitigation` strip one edge and the
+teeth tests assert the per-level window table visibly loosens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+
+#: Column order for reports: transient kinds first, persistent last.
+KIND_ORDER = (
+    "crt-part",
+    "pem-buffer",
+    "der-buffer",
+    "mont-cache",
+    "pagecache-pem",
+    "aligned-key-page",
+)
+
+
+@dataclass(frozen=True)
+class WindowKind:
+    """One copy kind's window semantics."""
+
+    name: str
+    description: str
+    paper_anchor: str
+    #: Policy flags that eliminate the copy entirely (vacuous window).
+    killed_by: Tuple[str, ...] = ()
+    #: Policy flags that must all be on for the copy to exist.
+    requires: Tuple[str, ...] = ()
+    #: ``(flag, function_suffix)``: when ``flag`` is on, the scrub is
+    #: guaranteed *inside* the named function (the in-library hook), so
+    #: the window is bounded by that function's tick summary even
+    #: though the copy escapes the minting function on the no-align
+    #: CFG path.
+    bounded_within: Optional[Tuple[str, str]] = None
+    #: A free event may discharge this kind without a name match
+    #: (method-style ``ctx.free()`` frees the object that carries it).
+    match_names: bool = True
+    #: The copy lives in user-addressable heap: clearing frees and
+    #: zero overwrites can discharge it.  ``False`` for kernel-side
+    #: copies (the page cache) no user-space scrub can reach — only an
+    #: unconditional scrub terminal or a killing flag ends those.
+    heap_backed: bool = True
+    #: Deliberate long-lived state (the aligned key page): reported,
+    #: but excluded from the transient-window ladder.
+    persistent: bool = False
+
+
+DEFAULT_KINDS: Dict[str, WindowKind] = {
+    "crt-part": WindowKind(
+        name="crt-part",
+        description=(
+            "BN_bin2bn heap copies of the six CRT parts; they escape "
+            "d2i into the RsaStruct, so only the in-library alignment "
+            "hook bounds their exposure."
+        ),
+        paper_anchor="§4.3 library-level solution",
+        bounded_within=("lib_align", "d2i_privatekey"),
+    ),
+    "pem-buffer": WindowKind(
+        name="pem-buffer",
+        description=(
+            "Heap staging buffer holding the PEM text during d2i; "
+            "freed in-function, scrubbed only when the free clears."
+        ),
+        paper_anchor="§3.1 leak L1 (temporary buffers)",
+    ),
+    "der-buffer": WindowKind(
+        name="der-buffer",
+        description=(
+            "Heap staging buffer holding the decoded DER (raw d/p/q "
+            "bytes) during d2i; freed in-function."
+        ),
+        paper_anchor="§3.1 leak L1 (temporary buffers)",
+    ),
+    "mont-cache": WindowKind(
+        name="mont-cache",
+        description=(
+            "Montgomery contexts holding transformed p/q; transient "
+            "per-operation copies below the alignment levels, killed "
+            "outright by alignment."
+        ),
+        paper_anchor="§3.1 leak L2 (Montgomery cache)",
+        killed_by=("align_on_load",),
+        match_names=False,
+    ),
+    "pagecache-pem": WindowKind(
+        name="pagecache-pem",
+        description=(
+            "Page-cache copy of the PEM key file; no user-space scrub "
+            "can reach it, so the window is unbounded until O_NOCACHE "
+            "prevents the copy from ever existing."
+        ),
+        paper_anchor="§3.2 page-cache leak",
+        killed_by=("o_nocache",),
+        heap_backed=False,
+    ),
+    "aligned-key-page": WindowKind(
+        name="aligned-key-page",
+        description=(
+            "The consolidated mlocked key page — the one deliberate "
+            "long-lived copy the paper permits; offloaded entirely at "
+            "the hardware level."
+        ),
+        paper_anchor="§4.3 aligned key region",
+        requires=("align_on_load",),
+        killed_by=("hw_vault",),
+        persistent=True,
+    ),
+}
+
+#: mint terminal -> kinds one call materializes.
+DEFAULT_MINT_CALLS: Dict[str, Tuple[str, ...]] = {
+    "bn_bin2bn": ("crt-part",),
+    "MontgomeryContext": ("mont-cache",),
+    "bio_read_file": ("pem-buffer", "pagecache-pem"),
+    "pem_decode": ("der-buffer",),
+    "memalign": ("aligned-key-page",),
+    "posix_memalign": ("aligned-key-page",),
+}
+
+#: unconditional scrub terminal -> kinds it discharges.
+DEFAULT_SCRUB_CALLS: Dict[str, Tuple[str, ...]] = {
+    "bn_clear_free": ("crt-part",),
+    "rsa_free": ("crt-part", "mont-cache"),
+    "drop_mont": ("mont-cache",),
+    "rsa_memory_align": ("crt-part", "mont-cache"),
+    "zeroize": ("crt-part", "pem-buffer", "der-buffer", "mont-cache"),
+    "scrub_slot": ("crt-part", "pem-buffer", "der-buffer", "mont-cache"),
+}
+
+#: Terminals whose call is a (conditionally clearing) release.
+DEFAULT_CLEARING_FREES: FrozenSet[str] = frozenset({"free"})
+
+#: ``clear=<name>`` / guard-name -> ProtectionPolicy flag.
+DEFAULT_GUARD_ALIASES: Dict[str, str] = {
+    "align": "lib_align",
+    "aligned": "align_on_load",
+    "scrub_buffers": "align_on_load",
+    "scrub": "align_on_load",
+    "use_nocache": "o_nocache",
+    "nocache": "o_nocache",
+    "no_reexec": "sshd_no_reexec",
+}
+
+#: Fixed tick prices for hot memory-plumbing terminals.  Their bodies
+#: loop over pages/chunks of *data*, which the event clock ticks a
+#: bounded number of times per call; pricing them as constants keeps
+#: callee summaries finite.  Values are calibrated against KeySan's
+#: measured event counts (generous: every price is an upper bound on
+#: the sanitizer hooks one call fires in the containment workloads).
+DEFAULT_PRIMITIVE_COSTS: Dict[str, int] = {
+    "write": 16,
+    "read": 2,
+    "malloc": 4,
+    "free": 16,
+    "memalign": 8,
+    "posix_memalign": 8,
+    "mlock": 2,
+    "munlock": 2,
+    "mmap": 4,
+    "munmap": 8,
+    "create_file": 4,
+    "unlink": 2,
+    "int_to_bytes": 1,
+    "to_bytes": 1,
+    # OS-boundary and bookkeeping terminals.  Coarse name resolution
+    # would otherwise drag in every same-named method (``close`` hits
+    # the SSH connection teardown, ``clear`` hits the key-corpus cache)
+    # and widen the modeled load path to ⊤; these are events at the
+    # boundary, not key-handling control flow.
+    "open": 16,
+    "close": 8,
+    "read_all": 16,
+    "lseek": 1,
+    "fstat": 2,
+    "private_op": 32,
+    "clear": 2,
+    "exit_process": 32,
+}
+
+#: Constant-size iterables the loop multiplier recognizes by name.
+DEFAULT_CONST_ITERABLES: Dict[str, int] = {
+    "PART_NAMES": 6,
+}
+
+#: Loop iterables/tests mentioning any of these tokens multiply by the
+#: symbolic connection count ``N`` instead of a constant.
+DEFAULT_SYMBOLIC_LOOP_TOKENS: FrozenSet[str] = frozenset(
+    {
+        "connection",
+        "connections",
+        "conn",
+        "conns",
+        "session",
+        "sessions",
+        "request",
+        "requests",
+        "client",
+        "clients",
+        "worker",
+        "workers",
+        "schedule",
+        "schedules",
+        "incarnation",
+        "incarnations",
+    }
+)
+
+#: Reachability roots: the configured OpenSSH deployment, matching
+#: KeyCount's.  Mint sites in functions unreachable from these (the
+#: demo scenarios, attack tooling, the test tree) are reported as
+#: findings but do not enter the per-level window table — the window
+#: is a property of the deployment.
+DEFAULT_DEPLOYMENT: Tuple[str, ...] = (
+    "apps.sshd.OpenSSHServer.start",
+    "apps.sshd.OpenSSHServer.stop",
+    "apps.sshd.OpenSSHServer.run_connection_cycle",
+    "apps.sshd.OpenSSHServer.set_concurrency",
+)
+
+
+@dataclass(frozen=True)
+class KeySpanConfig:
+    """Everything the exposure-window engine is parameterized by."""
+
+    mint_calls: Mapping[str, Tuple[str, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_MINT_CALLS)
+    )
+    kinds: Mapping[str, WindowKind] = field(
+        default_factory=lambda: dict(DEFAULT_KINDS)
+    )
+    scrub_calls: Mapping[str, Tuple[str, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_SCRUB_CALLS)
+    )
+    clearing_frees: FrozenSet[str] = DEFAULT_CLEARING_FREES
+    guard_aliases: Mapping[str, str] = field(
+        default_factory=lambda: dict(DEFAULT_GUARD_ALIASES)
+    )
+    primitive_costs: Mapping[str, int] = field(
+        default_factory=lambda: dict(DEFAULT_PRIMITIVE_COSTS)
+    )
+    const_iterables: Mapping[str, int] = field(
+        default_factory=lambda: dict(DEFAULT_CONST_ITERABLES)
+    )
+    symbolic_loop_tokens: FrozenSet[str] = DEFAULT_SYMBOLIC_LOOP_TOKENS
+    deployment: Tuple[str, ...] = DEFAULT_DEPLOYMENT
+    #: Trip-count bound for loops over plain data (non-symbolic).
+    default_loop_trips: int = 16
+    #: Cap before a range()/const multiplier widens to ``N``.
+    loop_const_cap: int = 64
+    #: Ticks charged for the kernel zero-on-free teardown backstop on
+    #: the exception route (the process dies, its frames are freed and
+    #: zeroed — bounded, but far later than an in-function scrub).
+    teardown_ticks: int = 2048
+    #: Worklist iteration bound (backstop; the saturating domain
+    #: converges long before this).
+    max_rounds: int = 64
+
+    # ------------------------------------------------------------------
+    # ablation hooks (the teeth tests)
+    # ------------------------------------------------------------------
+    def without_scrub(self, terminal: str) -> "KeySpanConfig":
+        """Drop one scrub edge: the terminal no longer ends windows."""
+        scrubs = {t: k for t, k in self.scrub_calls.items() if t != terminal}
+        frees = frozenset(t for t in self.clearing_frees if t != terminal)
+        return replace(self, scrub_calls=scrubs, clearing_frees=frees)
+
+    def without_mitigation(self, flag: str) -> "KeySpanConfig":
+        """Pretend one policy flag has no window effect."""
+        kinds = {}
+        for name, kind in self.kinds.items():
+            bounded = kind.bounded_within
+            if bounded is not None and bounded[0] == flag:
+                bounded = None
+            kinds[name] = replace(
+                kind,
+                killed_by=tuple(f for f in kind.killed_by if f != flag),
+                requires=tuple(f for f in kind.requires if f != flag),
+                bounded_within=bounded,
+            )
+        aliases = {
+            name: target
+            for name, target in self.guard_aliases.items()
+            if target != flag
+        }
+        return replace(self, kinds=kinds, guard_aliases=aliases)
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "mint_calls": {t: list(k) for t, k in sorted(self.mint_calls.items())},
+            "scrub_calls": {t: list(k) for t, k in sorted(self.scrub_calls.items())},
+            "clearing_frees": sorted(self.clearing_frees),
+            "kinds": {
+                name: {
+                    "killed_by": list(kind.killed_by),
+                    "requires": list(kind.requires),
+                    "bounded_within": (
+                        list(kind.bounded_within) if kind.bounded_within else None
+                    ),
+                    "persistent": kind.persistent,
+                    "paper_anchor": kind.paper_anchor,
+                }
+                for name, kind in sorted(self.kinds.items())
+            },
+            "primitive_costs": dict(sorted(self.primitive_costs.items())),
+            "default_loop_trips": self.default_loop_trips,
+            "teardown_ticks": self.teardown_ticks,
+            "deployment": list(self.deployment),
+        }
+
+
+DEFAULT_CONFIG = KeySpanConfig()

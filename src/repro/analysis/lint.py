@@ -61,6 +61,17 @@ from §4 of the paper:
     half-scrub buys nothing: scrub the fragments alongside, or call
     ``drop_mont(clear=True)`` for the Montgomery state.
 
+``long-lived-secret``
+    A function that mints key material (``d2i_privatekey``,
+    ``generate_rsa_key``, a raw ``bn_bin2bn``/``pem_decode``, or an
+    ``open_connection`` whose child re-reads the key) and then parks in
+    a blocking primitive — a transfer, a request loop, an accept — with
+    no scrub in between.  Every tick spent blocked is exposure window
+    (KeySpan's metric): a disclosure attack that fires mid-block reads
+    the fresh copies.  Scrub first, or hand the copy to a mitigation
+    (``rsa_memory_align``/``offload_to_vault``) before blocking; where
+    the hold *is* the mitigation's job, say so with a reviewed ignore.
+
 Every rule honours a ``# keylint: ignore[rule]`` comment on the
 flagged line (``ignore[*]`` silences all rules for that line); use it
 where a violation is deliberate, e.g. in negative-path tests.
@@ -89,6 +100,7 @@ RULE_NAMES = (
     "secret-in-log",
     "wall-clock-in-sim",
     "derived-secret-scrub",
+    "long-lived-secret",
 )
 
 #: Identifier tokens that mark a value as key material.  An argument
@@ -167,6 +179,31 @@ PRIMARY_SECRET_TOKENS = frozenset(
 #: coefficient, and Montgomery residues.  Each reconstructs the
 #: primary secret, so a scrub that skips them is incomplete.
 DERIVED_SECRET_TOKENS = frozenset({"dmp1", "dmq1", "iqmp", "mont"})
+
+#: Calls after which fresh key-material copies are live in the calling
+#: scope.  ``open_connection`` counts because the stock (re-exec) sshd
+#: path re-reads the key file per connection inside it.
+KEY_MINT_CALLS = frozenset(
+    {"d2i_privatekey", "generate_rsa_key", "bn_bin2bn", "pem_decode",
+     "open_connection"}
+)
+
+#: Primitives that park the caller for an unbounded stretch of virtual
+#: time: network waits and whole-session drivers.  Key copies held
+#: across one of these are exposed for the full block (the
+#: long-lived-secret rule).
+BLOCKING_CALLS = frozenset(
+    {"accept", "recv", "recv_all", "select", "poll", "serve_forever",
+     "wait", "wait_for", "transfer", "handle_request",
+     "cycle_connections", "hold_connections"}
+)
+
+#: Calls that discharge a minted copy before a block: real scrubs, the
+#: freeing teardown, and the mitigation handoffs that take ownership of
+#: the copy's lifetime.
+HOLD_SCRUB_CALLS = CLEAR_SCRUB_CALLS | frozenset(
+    {"rsa_free", "scrub_slot", "rsa_memory_align", "offload_to_vault"}
+)
 
 _IGNORE_RE = re.compile(r"#\s*keylint:\s*ignore\[([\w*,\s-]+)\]")
 
@@ -380,9 +417,41 @@ class _FileLinter(ast.NodeVisitor):
                     f"half-scrub buys nothing (see keyrecon)",
                 )
 
+    def _check_long_lived(self, node, scope_name: str) -> None:
+        """long-lived-secret: the scope mints key material, then blocks
+        (network wait, session driver) with the copies still live — no
+        scrub or mitigation handoff in between.  Own-scope calls are
+        replayed in source order as the execution-order approximation."""
+        calls: List[Tuple[int, int, str, ast.Call]] = []
+        for sub in _scope_nodes(node):
+            if isinstance(sub, ast.Call):
+                name = _call_name(sub)
+                if name is not None:
+                    calls.append((sub.lineno, sub.col_offset, name, sub))
+        calls.sort(key=lambda item: (item[0], item[1]))
+        mint: Optional[Tuple[str, int]] = None
+        for _, _, name, call in calls:
+            if name in HOLD_SCRUB_CALLS:
+                mint = None
+            elif name in KEY_MINT_CALLS:
+                if mint is None:
+                    mint = (name, call.lineno)
+            elif name in BLOCKING_CALLS and mint is not None:
+                mint_name, mint_line = mint
+                self._flag(
+                    call,
+                    "long-lived-secret",
+                    f"{scope_name}() mints key material via {mint_name}() "
+                    f"(line {mint_line}) and then blocks in {name}() "
+                    f"before any scrub; every blocked tick is exposure "
+                    f"window — scrub or hand off to a mitigation first",
+                )
+                mint = None  # one finding per held copy
+
     def _visit_scope(self, node, scope_name: str) -> None:
         self._func_stack.append((scope_name, [], False))
         self._check_derived_scrub(node, scope_name)
+        self._check_long_lived(node, scope_name)
         self.generic_visit(node)
         name, memaligns, has_mlock = self._func_stack.pop()
         if name in MEMALIGN_DEFINERS:
@@ -684,6 +753,11 @@ RULE_DESCRIPTIONS: Dict[str, str] = {
         "Primary secret clear-scrubbed while derived key state (CRT "
         "exponents, iqmp, Montgomery residues) in the same scope is "
         "not; derived fragments reconstruct the key."
+    ),
+    "long-lived-secret": (
+        "Key material minted and then held across a blocking primitive "
+        "(transfer, request loop, accept) with no scrub in between; "
+        "the whole block is exposure window."
     ),
 }
 

@@ -1,7 +1,7 @@
 """``repro analyze``: the whole static stack over one shared IR build.
 
-Running the five static layers independently parses and resolves the
-entire project five times.  This module discovers files once, builds
+Running the six static layers independently parses and resolves the
+entire project six times.  This module discovers files once, builds
 one :class:`~repro.analysis.ir.project.Project`, and feeds it to:
 
 1. **keylint** — syntactic rules over the same discovered file list;
@@ -9,13 +9,19 @@ one :class:`~repro.analysis.ir.project.Project`, and feeds it to:
 3. **KeyState** — mitigation-API typestate;
 4. **KeyCount** — quantitative copy bounds;
 5. **KeyRecon** — reconstructability of derived fragments;
+6. **KeySpan** — symbolic exposure windows (mint→scrub distance);
 
-then merges the five SARIF logs into a single multi-run document
+then merges the SARIF logs into a single multi-run document
 (:func:`repro.analysis.sarif.merge_sarif_logs`) so CI uploads one
-artifact instead of five.
+artifact instead of six.
+
+``layers=`` (the CLI's ``--layers keylint,keyflow,...``) selects a
+subset: the IR is still built once, only the selected layers run, and
+the gate verdict reflects *only* the selected layers — the lever CI
+uses to split the stack across jobs without re-parsing per layer.
 
 Gate semantics (``--check``): keylint violations fail directly (its
-baseline is "zero findings in src/repro"); the four IR layers fail on
+baseline is "zero findings in src/repro"); the IR layers fail on
 baseline *drift* — a new finding or a stale suppression — via their
 packaged reviewed baselines.
 """
@@ -37,6 +43,26 @@ REPRO_ROOT = Path(__file__).resolve().parents[1]
 LAYERS = ("keylint",) + BASELINE_TOOLS
 
 
+def parse_layers(spec: Optional[str]) -> Tuple[str, ...]:
+    """Parse a ``--layers`` value ("keylint,keyflow") into stack order.
+
+    ``None``/empty selects everything.  Unknown names raise ValueError
+    (exit code 2 at the CLI — bad input, not drift)."""
+    if not spec:
+        return LAYERS
+    requested = [name.strip() for name in spec.split(",") if name.strip()]
+    unknown = sorted(set(requested) - set(LAYERS))
+    if unknown:
+        raise ValueError(
+            f"unknown analysis layers: {', '.join(unknown)} "
+            f"(choose from {', '.join(LAYERS)})"
+        )
+    if not requested:
+        return LAYERS
+    # Deduplicate and normalize to stack order.
+    return tuple(name for name in LAYERS if name in requested)
+
+
 @dataclass
 class AnalyzeResult:
     """Everything one combined run produced."""
@@ -48,27 +74,38 @@ class AnalyzeResult:
     reports: Dict[str, object]
     #: tool name -> BaselineDrift (only populated by ``check=True``).
     drifts: Dict[str, object] = field(default_factory=dict)
+    #: The layers this run actually executed, in stack order.
+    layers: Tuple[str, ...] = LAYERS
+
+    @property
+    def ran_tools(self) -> Tuple[str, ...]:
+        """The baseline-gated layers that ran, in stack order."""
+        return tuple(name for name in BASELINE_TOOLS if name in self.layers)
 
     @property
     def ok(self) -> bool:
-        if self.violations:
+        if "keylint" in self.layers and self.violations:
             return False
         return all(drift.ok for drift in self.drifts.values())
 
     # ------------------------------------------------------------------
     def to_sarif(self) -> Dict[str, object]:
         """One merged multi-run SARIF 2.1.0 document for the stack."""
-        logs = [render_sarif(self.violations)]
-        logs.extend(self.reports[name].to_sarif() for name in BASELINE_TOOLS)
+        logs = []
+        if "keylint" in self.layers:
+            logs.append(render_sarif(self.violations))
+        logs.extend(self.reports[name].to_sarif() for name in self.ran_tools)
         return merge_sarif_logs(logs)
 
     def to_json_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "tool": "analyze",
-            "layers": list(LAYERS),
+            "layers": list(self.layers),
             "files": list(self.files),
             "functions": self.function_count,
-            "keylint": {
+        }
+        if "keylint" in self.layers:
+            payload["keylint"] = {
                 "violations": [
                     {
                         "path": v.path,
@@ -79,24 +116,25 @@ class AnalyzeResult:
                     }
                     for v in self.violations
                 ],
-            },
-            **{
-                name: self.reports[name].to_json_dict()
-                for name in BASELINE_TOOLS
-            },
-        }
+            }
+        payload.update(
+            {name: self.reports[name].to_json_dict() for name in self.ran_tools}
+        )
+        return payload
 
     def render_text(self) -> str:
         lines: List[str] = []
-        lines.append("repro analyze: the six-layer stack, static half")
+        lines.append("repro analyze: the static stack over one IR build")
         lines.append(
             f"  shared IR build: {len(self.files)} files, "
             f"{self.function_count} functions"
         )
-        lines.append("")
-        lines.append("== keylint ==")
-        lines.append(render_report(self.violations))
-        for name in BASELINE_TOOLS:
+        lines.append(f"  layers: {', '.join(self.layers)}")
+        if "keylint" in self.layers:
+            lines.append("")
+            lines.append("== keylint ==")
+            lines.append(render_report(self.violations))
+        for name in self.ran_tools:
             lines.append("")
             lines.append(f"== {name} ==")
             lines.append(self.reports[name].render_text().rstrip("\n"))
@@ -120,20 +158,29 @@ def run_all(
     paths: Optional[Sequence[Path]] = None,
     files: Optional[Sequence[Tuple[Path, Path]]] = None,
     check: bool = False,
+    layers: Optional[Sequence[str]] = None,
 ) -> AnalyzeResult:
-    """Run keylint → KeyFlow → KeyState → KeyCount → KeyRecon over one
-    IR build."""
+    """Run the selected layers (default: all six) over one IR build."""
+    selected = tuple(layers) if layers else LAYERS
+    unknown = sorted(set(selected) - set(LAYERS))
+    if unknown:
+        raise ValueError(f"unknown analysis layers: {', '.join(unknown)}")
+    selected = tuple(name for name in LAYERS if name in selected)
+
     roots = [Path(p) for p in paths] if paths else [REPRO_ROOT]
     pairs = list(files) if files is not None else discover_files(roots)
     project = Project.load(roots, files=pairs)
 
     violations: List[LintViolation] = []
-    for root, file_path in sorted(pairs, key=lambda p: p[1].as_posix()):
-        violations.extend(lint_file(file_path, root=root))
+    if "keylint" in selected:
+        for root, file_path in sorted(pairs, key=lambda p: p[1].as_posix()):
+            violations.extend(lint_file(file_path, root=root))
 
     reports: Dict[str, object] = {}
     drifts: Dict[str, object] = {}
     for name in BASELINE_TOOLS:
+        if name not in selected:
+            continue
         tool = get_tool(name)
         report = tool.analyze(project=project)
         reports[name] = report
@@ -146,4 +193,5 @@ def run_all(
         violations=violations,
         reports=reports,
         drifts=drifts,
+        layers=selected,
     )

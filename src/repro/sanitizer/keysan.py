@@ -38,6 +38,7 @@ from repro.sanitizer.lifecycle import LifecycleMonitor
 from repro.sanitizer.report import (
     REGION_CLASS_OF,
     CopyRecord,
+    ExposureWindow,
     TaintDiagnostic,
     TaintReport,
 )
@@ -125,6 +126,15 @@ class KeySan:
         self.events_matched = 0
         #: Protocol-lifecycle monitor (KeyState's automata, executed).
         self.lifecycle = LifecycleMonitor()
+        #: Monotone event clock: every memory-mutation hook is one tick.
+        #: The dynamic counterpart of KeySpan's abstract tick costs.
+        self.clock = 0
+        #: ``(tag_id, page)`` -> birth tick for copies still resident.
+        self._open: Dict[Tuple[int, int], int] = {}
+        #: page -> tag_ids with an open window there (diff fast path).
+        self._open_by_page: Dict[int, Set[int]] = {}
+        #: Closed ``(tag_id, page, birth, close)`` residency intervals.
+        self.closed_exposures: List[Tuple[int, int, int, int]] = []
 
     # ------------------------------------------------------------------
     # attachment
@@ -182,6 +192,56 @@ class KeySan:
         self.register_secret(prefix + "dmq1", int_to_bytes(key.dmq1))
         self.register_secret(prefix + "iqmp", int_to_bytes(key.iqmp))
         self.register_secret(prefix + "pem", pem)
+
+    # ------------------------------------------------------------------
+    # exposure clock
+    # ------------------------------------------------------------------
+    def note_birth(self, tag_id: int, page: int) -> None:
+        """A secret's bytes appeared in ``page``: open a window, stamped
+        with the current tick."""
+        key = (tag_id, page)
+        if key in self._open:
+            return
+        self._open[key] = self.clock
+        self._open_by_page.setdefault(page, set()).add(tag_id)
+
+    def note_scrub(self, tag_id: int, page: int) -> None:
+        """The last of a secret's bytes left ``page``: close its window
+        at the current tick."""
+        birth = self._open.pop((tag_id, page), None)
+        if birth is None:
+            return
+        open_here = self._open_by_page.get(page)
+        if open_here is not None:
+            open_here.discard(tag_id)
+            if not open_here:
+                del self._open_by_page[page]
+        self.closed_exposures.append((tag_id, page, birth, self.clock))
+
+    def _sync_exposures(self, addr: int, length: int) -> None:
+        """Diff the per-page tag population against the open-window
+        table for every page a mutation touched.  Cheap in the common
+        case: an untainted page with no open windows is one probe."""
+        if length <= 0:
+            return
+        page_size = self.kernel.physmem.page_size
+        first = addr // page_size
+        last = (addr + length - 1) // page_size
+        for page in range(first, last + 1):
+            base = page * page_size
+            tainted = self.shadow.any_in(base, page_size)
+            open_here = self._open_by_page.get(page)
+            if not tainted and not open_here:
+                continue
+            present: Set[int] = set()
+            if tainted:
+                for run in self.shadow.runs_in(base, page_size):
+                    present.add(run.tag_id)
+            if open_here is not None:
+                for tag_id in tuple(open_here - present):
+                    self.note_scrub(tag_id, page)
+            for tag_id in present:
+                self.note_birth(tag_id, page)
 
     # ------------------------------------------------------------------
     # call-site attribution
@@ -257,10 +317,12 @@ class KeySan:
     # ------------------------------------------------------------------
     def on_write(self, addr: int, data: bytes) -> None:
         """A write lands: old taint dies, secret-bearing bytes taint."""
+        self.clock += 1
         length = len(data)
         pending, self._pending = self._pending, []
         self.shadow.clear_range(addr, length)
         if not self.tags or data.count(0) == length:
+            self._sync_exposures(addr, length)
             return
         site: Optional[str] = None
         # Continuations: the previous write ended mid-secret; if this
@@ -303,18 +365,24 @@ class KeySan:
                         if end == length and k < len(secret):
                             self._pending.append((tag.tag_id, k, origin_id))
                     pos = data.find(window, pos + 1)
+        self._sync_exposures(addr, length)
 
     def on_fill(self, addr: int, length: int) -> None:
+        self.clock += 1
         self.shadow.clear_range(addr, length)
         self._pending.clear()
+        self._sync_exposures(addr, length)
 
     def on_clear_frame(self, frame: int) -> None:
+        self.clock += 1
         page_size = self.kernel.physmem.page_size
         self.shadow.clear_range(frame * page_size, page_size)
+        self._sync_exposures(frame * page_size, page_size)
 
     def on_copy_frame(self, src_frame: int, dst_frame: int) -> None:
         """Frame copy (the COW ``copy_user_highpage`` path): taint and
         origin travel with the bytes."""
+        self.clock += 1
         page_size = self.kernel.physmem.page_size
         src = src_frame * page_size
         dst = dst_frame * page_size
@@ -326,6 +394,7 @@ class KeySan:
                     self._note_planted(site, tag, run.length)
             self.events_matched += 1
         self.shadow.copy_range(src, dst, page_size)
+        self._sync_exposures(dst, page_size)
 
     # ------------------------------------------------------------------
     # allocator / VM hooks
@@ -345,6 +414,7 @@ class KeySan:
     def on_frames_freed(self, head: int, order: int, cleared: bool) -> None:
         """Buddy free path: a tainted frame entering a free list without
         ``clear_frame`` is the paper's core leak, caught in the act."""
+        self.clock += 1  # the free itself is an event (shadow unchanged)
         self._free_events += 1
         if self.invariant_stride and self._free_events % self.invariant_stride == 0:
             self.kernel.buddy.check_invariants()
@@ -371,6 +441,7 @@ class KeySan:
 
     def note_swap_out(self, frame: int, slot: int) -> None:
         """Called by the VM just after a page's content went to swap."""
+        self.clock += 1
         page_size = self.kernel.physmem.page_size
         base = frame * page_size
         if not self.shadow.any_in(base, page_size):
@@ -510,6 +581,21 @@ class KeySan:
             site: dict(tags) for site, tags in self.site_stats.items()
         }
         report.diagnostics = list(self.diagnostics)
+        report.clock = self.clock
+
+        # Exposure windows: closed intervals plus whatever is still open.
+        def _tag_name(tag_id: int) -> str:
+            tag = self.tags.get(tag_id)
+            return tag.name if tag is not None else f"tag#{tag_id}"
+
+        report.exposure_windows = [
+            ExposureWindow(_tag_name(tag_id), page, birth, close)
+            for tag_id, page, birth, close in self.closed_exposures
+        ]
+        report.open_exposures = [
+            ExposureWindow(_tag_name(tag_id), page, birth, None)
+            for (tag_id, page), birth in sorted(self._open.items())
+        ]
 
         # Per-tag and per-region byte census over tainted chunks only.
         for start, length in self.shadow.iter_tainted_chunks(page_size):

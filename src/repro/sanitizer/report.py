@@ -100,6 +100,36 @@ class CrossCheckResult:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class ExposureWindow:
+    """One (secret, physical page) residency interval on the sanitizer's
+    monotone event clock.
+
+    Born at the tick the tag's bytes first appeared in the page, closed
+    at the tick an overwrite/clear removed the last of them (``close is
+    None`` while the copy is still resident).  The measured counterpart
+    of KeySpan's static mint→scrub tick bounds: the containment
+    regression asserts every *closed* window at a ProtectionLevel fits
+    under the static per-level bound."""
+
+    tag: str
+    page: int
+    birth: int
+    close: int | None
+
+    @property
+    def closed(self) -> bool:
+        return self.close is not None
+
+    def duration(self, now: int | None = None) -> int:
+        """Ticks the copy was (or has been) resident."""
+        if self.close is not None:
+            return self.close - self.birth
+        if now is None:
+            raise ValueError("open window needs `now` to have a duration")
+        return now - self.birth
+
+
 #: KeySan page region -> KeyCount static region class.
 REGION_CLASS_OF = {
     "user": "allocated",
@@ -157,6 +187,12 @@ class TaintReport:
     #: Originating call site -> {secret name -> bytes planted}.
     site_table: Dict[str, Dict[str, int]] = field(default_factory=dict)
     tainted_bytes_total: int = 0
+    #: Sanitizer event-clock value at report time.
+    clock: int = 0
+    #: Closed (secret, page) residency intervals, in close order.
+    exposure_windows: List[ExposureWindow] = field(default_factory=list)
+    #: Windows still open at report time (``close is None``).
+    open_exposures: List[ExposureWindow] = field(default_factory=list)
     #: Snapshot of memory at report time, kept for cross_check.
     _snapshot: bytes = b""
     #: Pattern name -> pattern bytes, kept for cross_check.
@@ -176,6 +212,23 @@ class TaintReport:
         census["swap"] = sum(self.swap_hits.values())
         census["total"] = sum(census[region] for region in COPY_CENSUS_REGIONS)
         return census
+
+    # ------------------------------------------------------------------
+    def exposure_histogram(self) -> Dict[str, List[int]]:
+        """Per-tag sorted list of closed-window durations, in ticks —
+        the measured distribution KeySpan's static bounds must cover."""
+        histogram: Dict[str, List[int]] = {}
+        for window in self.exposure_windows:
+            histogram.setdefault(window.tag, []).append(window.duration())
+        for durations in histogram.values():
+            durations.sort()
+        return histogram
+
+    def worst_closed_exposure(self) -> int:
+        """Longest closed window in ticks (0 when none closed)."""
+        return max(
+            (w.duration() for w in self.exposure_windows), default=0
+        )
 
     # ------------------------------------------------------------------
     def observed_sites(self, prefix: str = "repro.") -> List[str]:
@@ -268,6 +321,17 @@ class TaintReport:
                 f"{name}={count}" for name, count in sorted(self.untracked_copies.items())
                 if count))
         lines.append(f"  partial fragments   : {self.fragments}")
+        if self.exposure_windows or self.open_exposures:
+            histogram = self.exposure_histogram()
+            summary = ", ".join(
+                f"{tag}:{len(durations)}×(max {durations[-1]}t)"
+                for tag, durations in sorted(histogram.items())
+            )
+            lines.append(
+                f"  exposure windows    : {len(self.exposure_windows)} closed"
+                + (f" [{summary}]" if summary else "")
+                + f", {len(self.open_exposures)} open at tick {self.clock}"
+            )
         if self.swap_hits and any(self.swap_hits.values()):
             lines.append("  swap device hits    : " + ", ".join(
                 f"{name}={count}" for name, count in sorted(self.swap_hits.items())

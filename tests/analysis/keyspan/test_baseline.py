@@ -1,0 +1,73 @@
+"""Baseline gate: clean on the shipped tree, drifts on new/stale sites."""
+
+import json
+
+from repro.analysis.keyspan import (
+    analyze,
+    compare_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.keyspan.baseline import DEFAULT_BASELINE_PATH
+from repro.analysis.keyspan.engine import REPRO_ROOT
+
+MINTING_FIXTURE = (
+    "def deliberately_minting(process, blob):\n"
+    "    part = bn_bin2bn(process, blob)\n"
+    "    return part\n"
+)
+
+
+class TestShippedBaseline:
+    def test_shipped_tree_is_clean_against_baseline(self):
+        report = analyze()
+        drift = compare_baseline(report, load_baseline())
+        assert drift.ok, drift.render_text()
+
+    def test_every_entry_has_a_distinct_justification_body(self):
+        baseline = load_baseline()
+        assert baseline, "shipped baseline must not be empty"
+        for finding_id, justification in baseline.items():
+            assert justification.strip(), finding_id
+            assert "TODO" not in justification, finding_id
+
+    def test_baseline_file_is_sorted_and_stable(self):
+        payload = json.loads(DEFAULT_BASELINE_PATH.read_text(encoding="utf-8"))
+        ids = list(payload["findings"])
+        assert ids == sorted(ids)
+        assert payload["tool"] == "keyspan"
+
+
+class TestDrift:
+    def test_new_mint_site_fails_the_check(self, tmp_path):
+        (tmp_path / "minting_fixture.py").write_text(
+            MINTING_FIXTURE, encoding="utf-8"
+        )
+        report = analyze(paths=[REPRO_ROOT, tmp_path])
+        drift = compare_baseline(report, load_baseline())
+        assert not drift.ok
+        assert (
+            "crt-part:minting_fixture.deliberately_minting:bn_bin2bn#0"
+            in drift.new
+        )
+        assert drift.stale == []
+
+    def test_stale_entry_fails_the_check(self, tmp_path):
+        (tmp_path / "mod.py").write_text(MINTING_FIXTURE, encoding="utf-8")
+        report = analyze(paths=[tmp_path])
+        baseline = {
+            "crt-part:mod.deliberately_minting:bn_bin2bn#0": "the fixture",
+            "crt-part:mod.vanished:bn_bin2bn#0": "no longer exists",
+        }
+        drift = compare_baseline(report, baseline)
+        assert not drift.ok
+        assert drift.new == []
+        assert drift.stale == ["crt-part:mod.vanished:bn_bin2bn#0"]
+
+    def test_write_then_compare_round_trips(self, tmp_path):
+        (tmp_path / "mod.py").write_text(MINTING_FIXTURE, encoding="utf-8")
+        report = analyze(paths=[tmp_path])
+        path = tmp_path / "baseline.json"
+        write_baseline(report, path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert set(payload["findings"]) == set(report.finding_ids())

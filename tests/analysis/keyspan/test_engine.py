@@ -1,0 +1,138 @@
+"""Engine unit tests over small sources: mint/scrub recognition.
+
+Each test compiles a tiny module and checks what the engine concludes
+about its mint sites — the aliasing, wrapper-skipping, and
+``finally``-coverage machinery, isolated from the real tree.
+"""
+
+import pytest
+
+from repro.analysis.keyspan import analyze
+
+
+def run(tmp_path, source, name="mod.py"):
+    (tmp_path / name).write_text(source, encoding="utf-8")
+    return analyze(paths=[tmp_path])
+
+
+def finding_ids(report):
+    return report.finding_ids()
+
+
+class TestMintCollection:
+    def test_mint_terminals_create_findings(self, tmp_path):
+        report = run(
+            tmp_path,
+            "def load(process, blob):\n"
+            "    part = bn_bin2bn(process, blob)\n"
+            "    der = pem_decode(blob)\n"
+            "    return part, der\n",
+        )
+        assert finding_ids(report) == [
+            "crt-part:mod.load:bn_bin2bn#0",
+            "der-buffer:mod.load:pem_decode#0",
+        ]
+
+    def test_ordinals_distinguish_repeated_mints(self, tmp_path):
+        report = run(
+            tmp_path,
+            "def twice(process, a, b):\n"
+            "    return bn_bin2bn(process, a), bn_bin2bn(process, b)\n",
+        )
+        assert finding_ids(report) == [
+            "crt-part:mod.twice:bn_bin2bn#0",
+            "crt-part:mod.twice:bn_bin2bn#1",
+        ]
+
+    def test_wrapper_definitions_are_skipped(self, tmp_path):
+        # posix_memalign calling memalign is the primitive's own
+        # definition, not a fresh aligned-page mint.
+        report = run(
+            tmp_path,
+            "def posix_memalign(heap, size):\n"
+            "    return memalign(heap, size)\n",
+        )
+        assert finding_ids(report) == []
+
+
+class TestExceptionCoverage:
+    # The mint sits *inside* the try: even a raise partway through the
+    # minting call reaches the finally scrub.
+    SCRUBBED = (
+        "def load(process, blob):\n"
+        "    try:\n"
+        "        part = bn_bin2bn(process, blob)\n"
+        "        use(part)\n"
+        "    finally:\n"
+        "        bn_clear_free(part)\n"
+    )
+    UNSCRUBBED = (
+        "def load(process, blob):\n"
+        "    part = bn_bin2bn(process, blob)\n"
+        "    use(part)\n"
+        "    bn_clear_free(part)\n"
+    )
+
+    def test_finally_scrub_covers_the_raise_route(self, tmp_path):
+        report = run(tmp_path, self.SCRUBBED)
+        (finding,) = report.findings
+        assert finding.exception_covered
+
+    def test_straight_line_scrub_does_not(self, tmp_path):
+        # ``use(part)`` can raise between mint and scrub: the copy
+        # escapes down the exception edge — the missed-finally class.
+        report = run(tmp_path, self.UNSCRUBBED)
+        (finding,) = report.findings
+        assert not finding.exception_covered
+
+
+class TestAliasing:
+    # Dedicated scrub calls (bn_clear_free) end their kind's window
+    # unconditionally; it is the *clearing frees* that must name the
+    # minted buffer, so aliasing is observed through them.
+    def test_free_through_an_alias_closes_the_window(self, tmp_path):
+        report = run(
+            tmp_path,
+            "def load(process, path):\n"
+            "    try:\n"
+            "        pem = bio_read_file(process, path)\n"
+            "        handle = pem\n"
+            "        use(handle)\n"
+            "    finally:\n"
+            "        free(handle, clear=True)\n",
+        )
+        by_rule = {f.rule: f for f in report.findings}
+        assert by_rule["pem-buffer"].exception_covered
+
+    def test_free_of_an_unrelated_buffer_does_not(self, tmp_path):
+        report = run(
+            tmp_path,
+            "def load(process, path, other):\n"
+            "    try:\n"
+            "        pem = bio_read_file(process, path)\n"
+            "        use(pem)\n"
+            "    finally:\n"
+            "        free(other, clear=True)\n",
+        )
+        by_rule = {f.rule: f for f in report.findings}
+        assert not by_rule["pem-buffer"].exception_covered
+
+
+class TestHeapBackedGate:
+    def test_heap_free_cannot_scrub_the_page_cache(self, tmp_path):
+        # bio_read_file mints both the heap PEM buffer and the kernel
+        # page-cache copy; a clearing free of the buffer discharges
+        # only the heap-backed obligation.
+        report = run(
+            tmp_path,
+            "def load(process, path):\n"
+            "    try:\n"
+            "        pem = bio_read_file(process, path)\n"
+            "        use(pem)\n"
+            "    finally:\n"
+            "        free(pem, clear=True)\n",
+        )
+        by_rule = {f.rule: f for f in report.findings}
+        assert set(by_rule) == {"pem-buffer", "pagecache-pem"}
+        assert by_rule["pem-buffer"].exception_covered
+        assert not by_rule["pagecache-pem"].exception_covered

@@ -1,0 +1,19 @@
+"""Fixture: key material minted, then held across a blocking call."""
+
+
+def serve_once(process, path):
+    rsa = d2i_privatekey(process, path)   # mint
+    transfer(rsa, 100 * 1024)   # flagged: blocks with the copies live
+    rsa.rsa_free()
+
+
+def session_loop(server):
+    connection = server.open_connection()   # child re-reads the key
+    connection.wait()   # flagged: parked with fresh copies unscrubbed
+    connection.close()
+
+
+def decode_then_poll(blob, selector):
+    der = pem_decode(blob)   # mint
+    selector.poll()   # flagged: no scrub between mint and block
+    return der

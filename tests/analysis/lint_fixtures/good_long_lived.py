@@ -1,0 +1,30 @@
+"""Fixture: mints discharged before any blocking primitive."""
+
+
+def serve_once(process, path):
+    rsa = d2i_privatekey(process, path)
+    rsa.rsa_free()   # scrubbed before the block: nothing held
+    transfer(None, 100 * 1024)
+
+
+def aligned_server(process, path):
+    rsa = d2i_privatekey(process, path)
+    rsa_memory_align(rsa)   # mitigation owns the copy's lifetime now
+    transfer(rsa, 100 * 1024)
+
+
+def vaulted_server(process, path):
+    rsa = d2i_privatekey(process, path)
+    offload_to_vault(rsa)   # private material left the address space
+    transfer(rsa, 100 * 1024)
+
+
+def block_before_mint(process, path, selector):
+    selector.poll()   # blocking before the mint holds nothing
+    return d2i_privatekey(process, path)
+
+
+def mint_without_block(blob):
+    der = pem_decode(blob)
+    zeroize(der)   # no blocking primitive in scope at all
+    return der

@@ -49,7 +49,8 @@ class TestCommittedBaseline:
         )
         tools = [e["tool"] for e in payload["results"]]
         assert tools == [
-            "keylint", "keyflow", "keystate", "keycount", "keyrecon", "analyze"
+            "keylint", "keyflow", "keystate", "keycount", "keyrecon",
+            "keyspan", "analyze",
         ]
         for e in payload["results"]:
             assert e["best_seconds"] > 0

@@ -118,6 +118,26 @@ class TestRulesFire:
     def test_derived_scrub_accepts_full_teardown(self):
         assert lint_file(FIXTURES / "good_derived_scrub.py") == []
 
+    def test_long_lived_flags_blocks_with_live_mints(self):
+        violations = lint_file(FIXTURES / "bad_long_lived.py")
+        assert rules_in(violations) == {"long-lived-secret"}
+        # d2i→transfer, open_connection→wait, pem_decode→poll
+        assert len(violations) == 3
+        assert all("exposure window" in v.message for v in violations)
+
+    def test_long_lived_accepts_scrub_or_handoff_first(self):
+        assert lint_file(FIXTURES / "good_long_lived.py") == []
+
+    def test_long_lived_is_per_scope(self):
+        # Mint and block in different functions: neither scope holds.
+        source = (
+            "def load(p):\n"
+            "    return d2i_privatekey(p, '/k')\n"
+            "def serve(c):\n"
+            "    c.transfer(1024)\n"
+        )
+        assert lint_source(source, "f.py") == []
+
     def test_derived_scrub_scopes_are_per_function(self):
         # The primary scrub and the derived touch live in *different*
         # functions: neither scope owes the other a scrub.

@@ -1,4 +1,4 @@
-"""The analyze meta-command: five layers, one IR build, one SARIF."""
+"""The analyze meta-command: six layers, one IR build, one SARIF."""
 
 import json
 
@@ -6,7 +6,7 @@ import pytest
 
 from repro.analysis import runall
 from repro.analysis.ir.project import Project
-from repro.analysis.runall import LAYERS, run_all
+from repro.analysis.runall import LAYERS, parse_layers, run_all
 from repro.analysis.sarif import merge_sarif_logs, validate_sarif
 
 
@@ -18,7 +18,8 @@ def result():
 class TestRunAll:
     def test_layer_roster(self):
         assert LAYERS == (
-            "keylint", "keyflow", "keystate", "keycount", "keyrecon"
+            "keylint", "keyflow", "keystate", "keycount", "keyrecon",
+            "keyspan",
         )
 
     def test_shipped_tree_passes_the_gate(self, result):
@@ -28,7 +29,7 @@ class TestRunAll:
 
     def test_every_ir_layer_produced_a_report(self, result):
         assert set(result.reports) == {
-            "keyflow", "keystate", "keycount", "keyrecon"
+            "keyflow", "keystate", "keycount", "keyrecon", "keyspan"
         }
         for report in result.reports.values():
             assert report.findings is not None
@@ -86,6 +87,53 @@ class TestRunAll:
         monkeypatch.setattr(Project, "load", classmethod(counting_load))
         run_all()
         assert sum(calls) == 1
+
+
+class TestLayerSelection:
+    """``--layers``: one IR build, a subset of the stack, scoped gate."""
+
+    def test_parse_defaults_to_everything(self):
+        assert parse_layers(None) == LAYERS
+        assert parse_layers("") == LAYERS
+
+    def test_parse_normalizes_to_stack_order(self):
+        assert parse_layers("keyspan,keylint") == ("keylint", "keyspan")
+        assert parse_layers(" keyflow , keyflow ") == ("keyflow",)
+
+    def test_parse_rejects_unknown_layers(self):
+        with pytest.raises(ValueError, match="bogus"):
+            parse_layers("keylint,bogus")
+
+    def test_subset_runs_only_selected_layers(self):
+        result = run_all(layers=("keylint", "keyspan"), check=True)
+        assert result.layers == ("keylint", "keyspan")
+        assert set(result.reports) == {"keyspan"}
+        assert set(result.drifts) == {"keyspan"}
+        assert result.ok
+
+    def test_subset_sarif_has_one_run_per_selected_layer(self):
+        result = run_all(layers=("keyflow", "keycount"))
+        doc = result.to_sarif()
+        names = [run["tool"]["driver"]["name"] for run in doc["runs"]]
+        assert names == ["keyflow", "keycount"]
+        text = result.render_text()
+        assert "== keyflow ==" in text and "== keycount ==" in text
+        assert "== keylint ==" not in text
+
+    def test_verdict_reflects_only_selected_layers(self, tmp_path):
+        # A tree with a lint violation passes a gate that excludes
+        # keylint — the exit code is scoped to what actually ran.
+        (tmp_path / "dirty.py").write_text(
+            "def f(bn_free, rsa):\n    bn_free(rsa.d)\n", encoding="utf-8"
+        )
+        lint_gate = run_all(paths=[tmp_path], check=True, layers=("keylint",))
+        assert not lint_gate.ok
+        ir_gate = run_all(paths=[tmp_path], check=True, layers=("keyflow",))
+        assert ir_gate.violations == []
+
+    def test_unknown_layer_raises_before_the_ir_build(self):
+        with pytest.raises(ValueError):
+            run_all(layers=("keylint", "nonsense"))
 
 
 class TestMergeSarif:

@@ -1,6 +1,8 @@
 """Timeline-driver tests: the §3.2 schedule and its observations."""
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.analysis.timeline import (
     T_START_SERVER,
@@ -123,3 +125,60 @@ class TestSeries:
             assert len(step.locations) == step.total
             for address, _allocated in step.locations:
                 assert 0 <= address < ssh_baseline.memory_bytes
+
+
+def _step_facts(result):
+    """Everything observable about a timeline, in a comparable shape."""
+    return [
+        (
+            s.index,
+            s.server_running,
+            s.concurrency,
+            s.allocated,
+            s.unallocated,
+            tuple(s.locations),
+            tuple(sorted(s.regions.items())),
+        )
+        for s in result.steps
+    ]
+
+
+class TestDeterminism:
+    """Seeded timelines are byte-identical, however they are driven."""
+
+    def test_rerun_is_identical(self, ssh_baseline):
+        again = run_timeline(
+            "openssh", ProtectionLevel.NONE, seed=3, key_bits=256,
+            cycles_per_slot=1,
+        )
+        assert _step_facts(again) == _step_facts(ssh_baseline)
+
+    def test_incremental_scan_equals_full_rebuild(self, ssh_baseline):
+        # The generation-counter cache must be an optimization only:
+        # same counts, same addresses, same region split at every step.
+        incremental = run_timeline(
+            "openssh", ProtectionLevel.NONE, seed=3, key_bits=256,
+            cycles_per_slot=1, incremental_scan=True,
+        )
+        assert _step_facts(incremental) == _step_facts(ssh_baseline)
+
+    @settings(
+        max_examples=4, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        level=st.sampled_from(
+            [ProtectionLevel.NONE, ProtectionLevel.INTEGRATED]
+        ),
+        server=st.sampled_from(["openssh", "apache"]),
+    )
+    def test_incremental_equivalence_property(self, seed, level, server):
+        full = run_timeline(
+            server, level, seed=seed, key_bits=256, cycles_per_slot=1,
+        )
+        incremental = run_timeline(
+            server, level, seed=seed, key_bits=256, cycles_per_slot=1,
+            incremental_scan=True,
+        )
+        assert _step_facts(incremental) == _step_facts(full)

@@ -1,0 +1,91 @@
+"""The shared CLI exit-code contract, across every baseline-gated tool.
+
+Exit codes are API: CI branches on them.  The contract is
+
+* ``0`` — analysis ran, gate (if requested) is clean;
+* ``1`` — **drift only**: a healthy run against a healthy baseline
+  that disagree (new or stale findings);
+* ``2`` — bad input: unreadable analysis target, an explicit
+  ``--baseline`` that does not exist, or a baseline file the loader
+  rejects (malformed JSON, empty justification).
+
+Every tool front end funnels through :func:`run_analysis_tool`, so one
+parametrized suite pins all five at once — a regression here means a
+CI job starts mistaking "the gate itself is broken" for "review the
+findings" (or vice versa).
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.toolcli import BASELINE_TOOLS, make_standalone_main
+
+
+@pytest.fixture(scope="module")
+def tiny_tree(tmp_path_factory):
+    """A minimal analysis target: fast to analyze, zero findings."""
+    root = tmp_path_factory.mktemp("tinytree")
+    (root / "mod.py").write_text(
+        "def helper(x):\n    return x + 1\n", encoding="utf-8"
+    )
+    return root
+
+
+def _run(tool: str, argv):
+    return make_standalone_main(tool, f"{tool} under test")(argv)
+
+
+@pytest.mark.parametrize("tool", BASELINE_TOOLS)
+class TestExitCodeContract:
+    def test_clean_gate_is_zero(self, tool, tiny_tree, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps({"tool": tool, "findings": {}}), encoding="utf-8"
+        )
+        assert _run(tool, [
+            str(tiny_tree), "--out", str(tmp_path / "report.txt"),
+            "--baseline", str(baseline), "--check-baseline",
+        ]) == 0
+
+    def test_drift_is_one(self, tool, tiny_tree, tmp_path, capsys):
+        # A stale reviewed entry (the finding no longer exists) is
+        # drift: the baseline must be updated, the gate itself is fine.
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps({
+                "tool": tool,
+                "findings": {"ghost-finding:somewhere": "reviewed once"},
+            }),
+            encoding="utf-8",
+        )
+        assert _run(tool, [
+            str(tiny_tree), "--out", str(tmp_path / "report.txt"),
+            "--baseline", str(baseline), "--check-baseline",
+        ]) == 1
+        assert "STALE" in capsys.readouterr().err
+
+    def test_missing_explicit_baseline_is_two(self, tool, tiny_tree, tmp_path):
+        assert _run(tool, [
+            str(tiny_tree), "--out", str(tmp_path / "report.txt"),
+            "--baseline", str(tmp_path / "nope.json"), "--check-baseline",
+        ]) == 2
+
+    def test_malformed_baseline_is_two(self, tool, tiny_tree, tmp_path):
+        # An empty justification is a blanket suppression: the loader
+        # rejects it, and that is a broken gate (2), never drift (1).
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps({"tool": tool, "findings": {"some:finding": "  "}}),
+            encoding="utf-8",
+        )
+        assert _run(tool, [
+            str(tiny_tree), "--out", str(tmp_path / "report.txt"),
+            "--baseline", str(baseline), "--check-baseline",
+        ]) == 2
+
+    def test_unreadable_target_is_two(self, tool, tmp_path):
+        assert _run(tool, [
+            str(tmp_path / "no-such-tree"),
+            "--out", str(tmp_path / "report.txt"),
+        ]) == 2

@@ -7,9 +7,11 @@ Usage::
     python tools/analyze.py --check                  # CI gate
     python tools/analyze.py --format sarif --out analysis.sarif
 
-Runs keylint → KeyFlow → KeyState → KeyCount → KeyRecon over a single
-shared project parse (instead of five independent ones) and emits one merged
-multi-run SARIF document.  ``--check`` gates on keylint violations and
+Runs keylint → KeyFlow → KeyState → KeyCount → KeyRecon → KeySpan over
+a single shared project parse (instead of six independent ones) and
+emits one merged multi-run SARIF document.  ``--layers`` selects a
+subset (one IR build either way); the gate verdict covers only the
+selected layers.  ``--check`` gates on keylint violations and
 on baseline drift in each IR layer, exiting 1 on any failure — this is
 the single entry point CI's ``analyze`` job calls.  Equivalent to
 ``python -m repro analyze``.
@@ -27,7 +29,7 @@ SRC = REPO_ROOT / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
-from repro.analysis.runall import run_all  # noqa: E402
+from repro.analysis.runall import parse_layers, run_all  # noqa: E402
 from repro.analysis.toolcli import emit  # noqa: E402
 
 
@@ -35,8 +37,8 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="analyze",
         description="run keylint + KeyFlow + KeyState + KeyCount + "
-                    "KeyRecon over one shared IR build, merging SARIF "
-                    "output",
+                    "KeyRecon + KeySpan over one shared IR build, "
+                    "merging SARIF output",
     )
     parser.add_argument(
         "paths", nargs="*", type=Path,
@@ -52,13 +54,21 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--check", action="store_true",
-        help="exit 1 on any keylint violation or baseline drift",
+        help="exit 1 on any keylint violation or baseline drift "
+             "(in the selected layers only)",
+    )
+    parser.add_argument(
+        "--layers", default=None,
+        help="comma-separated subset of layers to run "
+             "(default: all; e.g. --layers keylint,keyflow)",
     )
     args = parser.parse_args(argv)
 
     try:
-        result = run_all(paths=args.paths or None, check=args.check)
-    except FileNotFoundError as exc:
+        layers = parse_layers(args.layers)
+        result = run_all(paths=args.paths or None, check=args.check,
+                         layers=layers)
+    except (FileNotFoundError, ValueError) as exc:
         print(exc, file=sys.stderr)
         return 2
 

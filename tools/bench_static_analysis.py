@@ -4,8 +4,9 @@
 Times each layer end to end — keylint (AST hygiene lint), KeyFlow
 (interprocedural taint), KeyState (interprocedural typestate),
 KeyCount (quantitative copy bounds), KeyRecon (fragment
-reconstructability) and the combined ``analyze`` meta-runner (all
-five over one shared IR build) — and writes
+reconstructability), KeySpan (symbolic exposure windows) and the
+combined ``analyze`` meta-runner (all six over one shared IR build) —
+and writes
 ``BENCH_static_analysis.json`` at the repo root so the
 analysis-performance trajectory is tracked alongside the simulation
 benchmarks.  Each entry records per-layer wall time (best and mean)
@@ -119,6 +120,21 @@ def _run_keyrecon():
     }
 
 
+def _run_keyspan():
+    from repro.analysis.keyspan import analyze
+
+    report = analyze(paths=[TARGET])
+    worst = report.worst_transient("INTEGRATED")
+    return {
+        "findings": len(report.findings),
+        "files": len(report.files),
+        "functions": report.function_count,
+        "integrated_worst_window": (
+            None if worst is None else worst.evaluate(1)
+        ),
+    }
+
+
 def _run_analyze():
     from repro.analysis.runall import run_all
 
@@ -137,6 +153,7 @@ RUNS = [
     ("keystate", _run_keystate),
     ("keycount", _run_keycount),
     ("keyrecon", _run_keyrecon),
+    ("keyspan", _run_keyspan),
     ("analyze", _run_analyze),
 ]
 

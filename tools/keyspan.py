@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Standalone KeySpan runner: static exposure windows over a tree.
+
+Usage::
+
+    python tools/keyspan.py [PATH ...]              # default: src/repro
+    python tools/keyspan.py --check-baseline        # CI drift gate
+    python tools/keyspan.py --format sarif          # for code scanning
+
+The text report prints the per-ProtectionLevel exposure-window table
+(symbolic mint→scrub tick bounds per copy kind, ∞ for windows no scrub
+closes), the exception-route residual table, and the mint-site
+inventory with the missed-``finally`` verdicts.  Exit status with
+``--check-baseline`` is 1 on any drift.  Equivalent to ``python -m
+repro keyspan`` but importable-path independent.  All argument and
+baseline plumbing lives in :mod:`repro.analysis.toolcli`.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.analysis.toolcli import make_standalone_main  # noqa: E402
+
+main = make_standalone_main(
+    "keyspan",
+    "static exposure-window analysis of minted key copies",
+)
+
+if __name__ == "__main__":
+    sys.exit(main())
